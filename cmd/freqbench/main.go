@@ -1,0 +1,91 @@
+// Command freqbench regenerates the paper's evaluation artifacts — every
+// figure and table of Section 4 — as text reports on the simulated Titan X.
+//
+// Usage:
+//
+//	freqbench [-exp fig1|fig4|fig5|fig6|fig7|fig8|table2|all] [-settings 40]
+//
+// fig6/fig7/fig8/table2 train the models on the full 106-micro-benchmark
+// training set first (about a minute of CPU time).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig1, fig4, fig5, fig6, fig7, fig8, table2, p100, all")
+	settings := flag.Int("settings", 40, "sampled frequency settings per training kernel")
+	flag.Parse()
+
+	s := experiments.NewSuiteWithOptions(core.Options{SettingsPerKernel: *settings})
+	if err := run(s, *exp); err != nil {
+		fmt.Fprintln(os.Stderr, "freqbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(s *experiments.Suite, exp string) error {
+	w := os.Stdout
+	switch exp {
+	case "fig1":
+		data, err := s.Fig1()
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig1(w, data)
+	case "fig4":
+		experiments.RenderFig4(w, s.Fig4())
+	case "fig5":
+		data, err := s.Fig5()
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig5(w, data)
+	case "fig6":
+		rep, err := s.Fig6()
+		if err != nil {
+			return err
+		}
+		experiments.RenderErrorReport(w, "Figure 6", rep)
+	case "fig7":
+		rep, err := s.Fig7()
+		if err != nil {
+			return err
+		}
+		experiments.RenderErrorReport(w, "Figure 7", rep)
+	case "fig8":
+		data, err := s.Fig8()
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig8(w, data)
+	case "table2":
+		rows, err := s.Table2()
+		if err != nil {
+			return err
+		}
+		experiments.RenderTable2(w, rows)
+	case "p100":
+		r, err := experiments.PortabilityP100(core.Options{SettingsPerKernel: 40})
+		if err != nil {
+			return err
+		}
+		experiments.RenderPortability(w, r)
+	case "all":
+		for _, e := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "table2"} {
+			if err := run(s, e); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

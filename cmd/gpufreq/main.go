@@ -1,0 +1,227 @@
+// Command gpufreq is the user-facing CLI of the frequency-scaling
+// prediction framework: it extracts static features from OpenCL kernels,
+// inspects the simulated devices' clock tables, trains the speedup/energy
+// models on the synthetic micro-benchmarks, and predicts Pareto-optimal
+// frequency configurations for new kernels without executing them.
+//
+// Usage:
+//
+//	gpufreq clocks [-device titanx|p100]
+//	gpufreq features <kernel.cl> [-kernel name]
+//	gpufreq train [-out models.json] [-settings 40]
+//	gpufreq predict <kernel.cl> [-model models.json] [-kernel name]
+//	gpufreq characterize <benchmark>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/features"
+	"repro/internal/freq"
+	"repro/internal/gpu"
+	"repro/internal/measure"
+	"repro/internal/nvml"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "clocks":
+		err = cmdClocks(os.Args[2:])
+	case "features":
+		err = cmdFeatures(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
+	case "characterize":
+		err = cmdCharacterize(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "gpufreq: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpufreq:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `gpufreq — predictable GPU frequency scaling for energy and performance
+
+Commands:
+  clocks        print the supported memory/core clock combinations
+  features      extract the static code features of an OpenCL kernel
+  train         train the speedup and energy models on the 106 micro-benchmarks
+  predict       predict the Pareto-optimal frequency settings of a kernel
+  characterize  measure a built-in test benchmark across all configurations
+`)
+}
+
+func device(name string) (*gpu.Device, error) {
+	switch name {
+	case "titanx", "":
+		return gpu.TitanX(), nil
+	case "p100":
+		return gpu.P100(), nil
+	}
+	return nil, fmt.Errorf("unknown device %q (titanx, p100)", name)
+}
+
+func cmdClocks(args []string) error {
+	fs := flag.NewFlagSet("clocks", flag.ExitOnError)
+	dev := fs.String("device", "titanx", "device model: titanx or p100")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := device(*dev)
+	if err != nil {
+		return err
+	}
+	nv := nvml.NewDevice(d)
+	fmt.Printf("%s\n", nv.Name())
+	fmt.Printf("default configuration: %v\n", d.Ladder.Default())
+	for _, m := range nv.DeviceGetSupportedMemoryClocks() {
+		claimed, err := nv.DeviceGetSupportedGraphicsClocks(m)
+		if err != nil {
+			return err
+		}
+		actual := d.Ladder.CoreClocks(m)
+		fmt.Printf("mem %4d MHz: %2d core clocks (%d claimed): %d..%d MHz\n",
+			m, len(actual), len(claimed), actual[0], actual[len(actual)-1])
+	}
+	return nil
+}
+
+func cmdFeatures(args []string) error {
+	fs := flag.NewFlagSet("features", flag.ExitOnError)
+	kernel := fs.String("kernel", "", "kernel name (default: first kernel)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: gpufreq features <kernel.cl> [-kernel name]")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	st, err := features.ExtractSource(string(src), *kernel)
+	if err != nil {
+		return err
+	}
+	for i, name := range features.Names {
+		fmt.Printf("%-12s %.4f\n", name, st[i])
+	}
+	return nil
+}
+
+func trainModels(settings int) (*core.Models, error) {
+	h := measure.NewHarness(nvml.NewDevice(gpu.TitanX()))
+	opts := core.Options{SettingsPerKernel: settings}
+	samples, err := core.BuildTrainingSet(h, experiments.TrainingKernels(), opts)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "trained on %d samples (%d micro-benchmarks)\n",
+		len(samples), len(experiments.TrainingKernels()))
+	return core.Train(samples, opts)
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	out := fs.String("out", "models.json", "output path for the trained models")
+	settings := fs.Int("settings", 40, "sampled frequency settings per micro-benchmark")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	models, err := trainModels(*settings)
+	if err != nil {
+		return err
+	}
+	if err := models.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("models written to %s (speedup: %d SVs, energy: %d SVs)\n",
+		*out, models.Speedup.NumSV(), models.Energy.NumSV())
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	modelPath := fs.String("model", "", "trained models file (default: train in-process)")
+	kernel := fs.String("kernel", "", "kernel name (default: first kernel)")
+	settings := fs.Int("settings", 40, "training settings when no model file is given")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: gpufreq predict <kernel.cl> [-model models.json]")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var models *core.Models
+	if *modelPath != "" {
+		models, err = core.LoadFile(*modelPath)
+	} else {
+		models, err = trainModels(*settings)
+	}
+	if err != nil {
+		return err
+	}
+	pred := core.NewPredictor(models, freq.TitanX())
+	set, err := pred.PredictSource(string(src), *kernel)
+	if err != nil {
+		return err
+	}
+	fmt.Println("predicted Pareto-optimal frequency configurations:")
+	fmt.Printf("%-12s %10s %12s\n", "mem@core", "speedup", "norm.energy")
+	for _, p := range set {
+		tag := ""
+		if p.MemLHeuristic {
+			tag = "  [mem-L heuristic]"
+		}
+		fmt.Printf("%-12s %10.3f %12.3f%s\n", p.Config, p.Speedup, p.NormEnergy, tag)
+	}
+	return nil
+}
+
+func cmdCharacterize(args []string) error {
+	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: gpufreq characterize <benchmark>; valid: %v", bench.Names())
+	}
+	b, err := bench.ByName(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	h := measure.NewHarness(nvml.NewDevice(gpu.TitanX()))
+	rels, err := h.Sweep(b.Profile())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d configurations (baseline %v)\n",
+		b.Name, len(rels), h.Device().Sim().Ladder.Default())
+	fmt.Printf("%-12s %10s %12s\n", "mem@core", "speedup", "norm.energy")
+	for _, r := range rels {
+		fmt.Printf("%-12s %10.3f %12.3f\n", r.Config, r.Speedup, r.NormEnergy)
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+// Autotune: pick a frequency configuration for a user kernel under an
+// explicit policy — either "fastest within an energy budget" or "most
+// frugal above a performance floor" — using the predicted Pareto set, then
+// verify the choice against the simulated hardware.
+//
+// This is the deployment scenario the paper motivates: per-application
+// static clock setting via nvmlDeviceSetApplicationsClocks without ever
+// profiling the application across the 177-configuration space.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gpu"
+	"repro/internal/measure"
+	"repro/internal/nvml"
+)
+
+// A 7-point stencil smoother: moderately memory-bound, unseen in training.
+const stencil = `
+__kernel void smooth7(__global const float* in, __global float* out,
+                      int nx, int ny, int nz) {
+    int gid = get_global_id(0);
+    int x = gid % nx;
+    int y = (gid / nx) % ny;
+    int z = gid / (nx * ny);
+    int xm = (x > 0) ? gid - 1 : gid;
+    int xp = (x < nx - 1) ? gid + 1 : gid;
+    int ym = (y > 0) ? gid - nx : gid;
+    int yp = (y < ny - 1) ? gid + nx : gid;
+    int zm = (z > 0) ? gid - nx * ny : gid;
+    int zp = (z < nz - 1) ? gid + nx * ny : gid;
+    float c = in[gid];
+    float acc = in[xm] + in[xp] + in[ym] + in[yp] + in[zm] + in[zp];
+    out[gid] = 0.4f * c + 0.1f * acc;
+}`
+
+func main() {
+	device := nvml.NewDevice(gpu.TitanX())
+	harness := measure.NewHarness(device)
+
+	opts := core.Options{SettingsPerKernel: 16}
+	samples, err := core.BuildTrainingSet(harness, experiments.TrainingKernels(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	models, err := core.Train(samples, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	predictor := core.NewPredictor(models, device.Sim().Ladder)
+
+	set, err := predictor.PredictSource(stencil, "smooth7")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predicted Pareto set: %d configurations\n\n", len(set))
+
+	// Policy A: minimize energy subject to speedup >= 0.95.
+	if cfg, ok := frugalAbove(set, 0.95); ok {
+		fmt.Printf("policy A (most frugal with speedup >= 0.95): %v\n", cfg.Config)
+		fmt.Printf("  predicted: speedup %.3f, normalized energy %.3f\n", cfg.Speedup, cfg.NormEnergy)
+	} else {
+		fmt.Println("policy A: no predicted configuration meets the floor")
+	}
+
+	// Policy B: maximize speedup subject to normalized energy <= 1.0.
+	if cfg, ok := fastestUnder(set, 1.0); ok {
+		fmt.Printf("policy B (fastest with energy <= 1.0):        %v\n", cfg.Config)
+		fmt.Printf("  predicted: speedup %.3f, normalized energy %.3f\n", cfg.Speedup, cfg.NormEnergy)
+
+		// Apply the clocks through the management API and verify on the
+		// simulated hardware, as a deployment harness would.
+		if err := device.DeviceSetApplicationsClocks(cfg.Config.Mem, cfg.Config.Core); err != nil {
+			log.Fatal(err)
+		}
+		applied := device.DeviceGetApplicationsClocks()
+		prof := mustProfile()
+		base, err := harness.Baseline(prof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel, err := harness.MeasureRelative(prof, applied, base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  measured:  speedup %.3f, normalized energy %.3f (applied %v)\n",
+			rel.Speedup, rel.NormEnergy, applied)
+	}
+}
+
+func frugalAbove(set []core.Prediction, floor float64) (core.Prediction, bool) {
+	best := core.Prediction{NormEnergy: math.Inf(1)}
+	found := false
+	for _, p := range set {
+		if p.MemLHeuristic {
+			continue // unmodeled extrapolation: not trusted by policy
+		}
+		if p.Speedup >= floor && p.NormEnergy < best.NormEnergy {
+			best, found = p, true
+		}
+	}
+	return best, found
+}
+
+func fastestUnder(set []core.Prediction, cap float64) (core.Prediction, bool) {
+	best := core.Prediction{Speedup: math.Inf(-1)}
+	found := false
+	for _, p := range set {
+		if p.MemLHeuristic {
+			continue
+		}
+		if p.NormEnergy <= cap && p.Speedup > best.Speedup {
+			best, found = p, true
+		}
+	}
+	return best, found
+}
+
+func mustProfile() gpu.KernelProfile {
+	prof, err := gpu.ProfileFromSource(stencil, "smooth7", 1<<21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof.CacheHitRate = 0.6 // stencil neighbours mostly hit in L2
+	return prof
+}

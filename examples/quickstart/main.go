@@ -1,0 +1,66 @@
+// Quickstart: train the two frequency-scaling models on a reduced synthetic
+// training set, then predict the Pareto-optimal memory/core frequency
+// configurations of a SAXPY kernel that the models have never seen —
+// without executing it (the paper's headline use case).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/freq"
+	"repro/internal/gpu"
+	"repro/internal/measure"
+	"repro/internal/nvml"
+)
+
+const saxpy = `
+__kernel void saxpy(__global const float* x, __global float* y,
+                    float a, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        y[i] = a * x[i] + y[i];
+    }
+}`
+
+func main() {
+	// 1. A simulated GTX Titan X behind the NVML management API.
+	device := nvml.NewDevice(gpu.TitanX())
+	harness := measure.NewHarness(device)
+	fmt.Printf("device: %s (default %v)\n\n", device.Name(), device.Sim().Ladder.Default())
+
+	// 2. Training phase: run the synthetic micro-benchmarks at sampled
+	// frequency settings and fit the speedup + energy SVR models.
+	// (SettingsPerKernel: 40 reproduces the paper; 16 keeps this example
+	// fast.)
+	opts := core.Options{SettingsPerKernel: 16}
+	samples, err := core.BuildTrainingSet(harness, experiments.TrainingKernels(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	models, err := core.Train(samples, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d samples: speedup model %d SVs, energy model %d SVs\n\n",
+		len(samples), models.Speedup.NumSV(), models.Energy.NumSV())
+
+	// 3. Prediction phase: static features only — the kernel never runs.
+	predictor := core.NewPredictor(models, freq.TitanX())
+	set, err := predictor.PredictSource(saxpy, "saxpy")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("predicted Pareto-optimal frequency configurations for saxpy:")
+	fmt.Printf("%-12s %10s %12s\n", "mem@core", "speedup", "norm.energy")
+	for _, p := range set {
+		tag := ""
+		if p.MemLHeuristic {
+			tag = "  [mem-L heuristic]"
+		}
+		fmt.Printf("%-12s %10.3f %12.3f%s\n", p.Config, p.Speedup, p.NormEnergy, tag)
+	}
+}

@@ -1,0 +1,98 @@
+// Scheduler: an energy-aware batch scheduler built on top of the predictive
+// framework — the downstream system the paper's introduction motivates
+// (large-scale compute clusters paying for energy).
+//
+// A queue of heterogeneous kernels is executed one after another on the
+// simulated GPU. Before each kernel launches, the scheduler predicts its
+// Pareto set from static features alone and applies, through the NVML API,
+// the predicted configuration that minimizes energy while keeping at least
+// 90% of default performance. The run is compared against the
+// fixed-default-clocks baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gpu"
+	"repro/internal/measure"
+	"repro/internal/nvml"
+)
+
+func main() {
+	device := nvml.NewDevice(gpu.TitanX())
+	harness := measure.NewHarness(device)
+
+	opts := core.Options{SettingsPerKernel: 16}
+	samples, err := core.BuildTrainingSet(harness, experiments.TrainingKernels(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	models, err := core.Train(samples, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	predictor := core.NewPredictor(models, device.Sim().Ladder)
+
+	// The batch: a mix of compute- and memory-dominated jobs.
+	queue := []string{"MatrixMultiply", "MT", "k-NN", "Blackscholes", "Convolution", "AES"}
+
+	var defTime, defEnergy, tunedTime, tunedEnergy float64
+	fmt.Printf("%-16s %-12s %10s %10s %12s\n",
+		"job", "chosen cfg", "speedup", "vs default", "energy ratio")
+	for _, name := range queue {
+		b, err := bench.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Baseline: default clocks.
+		base, err := harness.Baseline(b.Profile())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defTime += base.KernelSec
+		defEnergy += base.EnergyJ
+
+		// Scheduler decision from static features only.
+		set := predictor.ParetoSet(b.Features())
+		choice, ok := pickFrugal(set, 0.90)
+		if !ok {
+			choice = core.Prediction{Config: device.Sim().Ladder.Default()}
+		}
+		rel, err := harness.MeasureRelative(b.Profile(), choice.Config, base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tunedTime += rel.Raw.KernelSec
+		tunedEnergy += rel.Raw.EnergyJ
+		fmt.Printf("%-16s %-12s %10.3f %9.1f%% %11.1f%%\n",
+			name, choice.Config, rel.Speedup, 100*rel.Speedup, 100*rel.NormEnergy)
+	}
+
+	fmt.Printf("\nbatch totals (per-launch sums):\n")
+	fmt.Printf("  default clocks: %7.2f ms, %7.2f J\n", 1e3*defTime, defEnergy)
+	fmt.Printf("  scheduled:      %7.2f ms, %7.2f J\n", 1e3*tunedTime, tunedEnergy)
+	fmt.Printf("  energy saved: %.1f%%  at %.1f%% slowdown\n",
+		100*(1-tunedEnergy/defEnergy), 100*(tunedTime/defTime-1))
+}
+
+// pickFrugal returns the modeled prediction with minimum energy among those
+// with predicted speedup at or above the floor.
+func pickFrugal(set []core.Prediction, floor float64) (core.Prediction, bool) {
+	best := core.Prediction{NormEnergy: math.Inf(1)}
+	found := false
+	for _, p := range set {
+		if p.MemLHeuristic {
+			continue
+		}
+		if p.Speedup >= floor && p.NormEnergy < best.NormEnergy {
+			best, found = p, true
+		}
+	}
+	return best, found
+}

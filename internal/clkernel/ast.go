@@ -1,0 +1,255 @@
+package clkernel
+
+import "strconv"
+
+// AddrSpace is an OpenCL address-space qualifier.
+type AddrSpace int
+
+// Address spaces. Private is the default for locals and parameters without a
+// qualifier; Constant behaves like Global for access counting (the paper's
+// feature set folds constant-memory reads into global accesses).
+const (
+	Private AddrSpace = iota
+	Global
+	Local
+	Constant
+)
+
+func (a AddrSpace) String() string {
+	switch a {
+	case Global:
+		return "__global"
+	case Local:
+		return "__local"
+	case Constant:
+		return "__constant"
+	default:
+		return "__private"
+	}
+}
+
+// Type is a scalar, vector, or pointer type of the subset.
+type Type struct {
+	Base    string // scalar base name: "float", "int", "uint", ...
+	Width   int    // vector lanes; 1 for scalars
+	Pointer bool
+	Space   AddrSpace // meaningful for pointers and __local arrays
+}
+
+// IsFloat reports whether the type's base is a floating-point type.
+func (t Type) IsFloat() bool {
+	switch t.Base {
+	case "float", "double", "half":
+		return true
+	}
+	return false
+}
+
+// Lanes returns the vector width, treating 0 (unknown) as 1.
+func (t Type) Lanes() int {
+	if t.Width <= 0 {
+		return 1
+	}
+	return t.Width
+}
+
+func (t Type) String() string {
+	s := t.Base
+	if t.Width > 1 {
+		s += strconv.Itoa(t.Width)
+	}
+	if t.Pointer {
+		s += "*"
+	}
+	return s
+}
+
+// Program is a parsed translation unit: zero or more kernel functions plus
+// optional non-kernel helper functions.
+type Program struct {
+	Kernels []*Function
+	Helpers []*Function
+}
+
+// Kernel returns the kernel with the given name, or nil.
+func (p *Program) Kernel(name string) *Function {
+	for _, k := range p.Kernels {
+		if k.Name == name {
+			return k
+		}
+	}
+	return nil
+}
+
+// Helper returns the helper function with the given name, or nil.
+func (p *Program) Helper(name string) *Function {
+	for _, f := range p.Helpers {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Function is a kernel or helper function definition.
+type Function struct {
+	Name     string
+	IsKernel bool
+	Return   Type
+	Params   []Param
+	Body     *Block
+}
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ isStmt() }
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ isExpr() }
+
+// Block is a `{ ... }` statement list.
+type Block struct {
+	Stmts []Stmt
+}
+
+// DeclStmt declares one or more variables of a common type, each with an
+// optional initializer and optional array length (0 = not an array).
+type DeclStmt struct {
+	Type  Type
+	Names []DeclName
+}
+
+// DeclName is one declarator within a DeclStmt.
+type DeclName struct {
+	Name   string
+	ArrLen int
+	Init   Expr
+}
+
+// ExprStmt wraps an expression evaluated for its side effects.
+type ExprStmt struct{ X Expr }
+
+// IfStmt is an if/else statement.
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else *Block // nil when absent
+}
+
+// ForStmt is a C-style for loop. Init may be a DeclStmt or ExprStmt.
+type ForStmt struct {
+	Init Stmt // nil when empty
+	Cond Expr // nil when empty
+	Post Expr // nil when empty
+	Body *Block
+}
+
+// WhileStmt is a while (or lowered do-while) loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	Do   bool // true for do-while: body runs at least once
+}
+
+// ReturnStmt returns from the function (X may be nil).
+type ReturnStmt struct{ X Expr }
+
+// BreakStmt breaks the innermost loop.
+type BreakStmt struct{}
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{}
+
+// BlockStmt nests a block as a statement.
+type BlockStmt struct{ Block *Block }
+
+func (*Block) isStmt()        {}
+func (*DeclStmt) isStmt()     {}
+func (*ExprStmt) isStmt()     {}
+func (*IfStmt) isStmt()       {}
+func (*ForStmt) isStmt()      {}
+func (*WhileStmt) isStmt()    {}
+func (*ReturnStmt) isStmt()   {}
+func (*BreakStmt) isStmt()    {}
+func (*ContinueStmt) isStmt() {}
+func (*BlockStmt) isStmt()    {}
+
+// Ident references a variable or function name.
+type Ident struct{ Name string }
+
+// IntLit is an integer literal; Val carries its parsed value.
+type IntLit struct {
+	Text string
+	Val  int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Text string
+	Val  float64
+}
+
+// Binary is a binary operation, including assignments and compound
+// assignments (Op "=", "+=", ...), comparisons and logical operators.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Unary is a prefix unary operation ("-", "!", "~", "++", "--", "*", "&").
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Postfix is a postfix ++ or --.
+type Postfix struct {
+	Op string
+	X  Expr
+}
+
+// Call is a function or builtin invocation.
+type Call struct {
+	Fun  string
+	Args []Expr
+}
+
+// Index is an array/pointer subscript X[I].
+type Index struct {
+	X Expr
+	I Expr
+}
+
+// Member accesses a vector component or struct field (X.Sel).
+type Member struct {
+	X   Expr
+	Sel string
+}
+
+// Cast converts an expression to a type, e.g. (float)x or (float4)(...).
+type Cast struct {
+	To Type
+	X  Expr
+}
+
+// Ternary is cond ? a : b.
+type Ternary struct {
+	Cond, Then, Else Expr
+}
+
+func (*Ident) isExpr()    {}
+func (*IntLit) isExpr()   {}
+func (*FloatLit) isExpr() {}
+func (*Binary) isExpr()   {}
+func (*Unary) isExpr()    {}
+func (*Postfix) isExpr()  {}
+func (*Call) isExpr()     {}
+func (*Index) isExpr()    {}
+func (*Member) isExpr()   {}
+func (*Cast) isExpr()     {}
+func (*Ternary) isExpr()  {}

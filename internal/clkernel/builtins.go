@@ -1,0 +1,243 @@
+package clkernel
+
+import "strings"
+
+// Special (transcendental) functions executed on the GPU's SFU, counted in
+// the ksf feature class.
+var specialFns = map[string]bool{
+	"sin": true, "cos": true, "tan": true,
+	"sinh": true, "cosh": true, "tanh": true,
+	"asin": true, "acos": true, "atan": true, "atan2": true,
+	"exp": true, "exp2": true, "exp10": true, "expm1": true,
+	"log": true, "log2": true, "log10": true, "log1p": true,
+	"pow": true, "pown": true, "powr": true,
+	"sqrt": true, "rsqrt": true, "cbrt": true, "hypot": true,
+	"erf": true, "erfc": true, "tgamma": true, "lgamma": true,
+	"native_sin": true, "native_cos": true, "native_tan": true,
+	"native_exp": true, "native_exp2": true, "native_log": true,
+	"native_log2": true, "native_sqrt": true, "native_rsqrt": true,
+	"native_recip": true, "native_powr": true, "native_divide": true,
+	"half_sin": true, "half_cos": true, "half_exp": true,
+	"half_log": true, "half_sqrt": true, "half_rsqrt": true,
+	"sincos": true,
+}
+
+// Cheap float ALU builtins: one float-add-class op per call lane.
+var cheapFloatFns = map[string]bool{
+	"fabs": true, "floor": true, "ceil": true, "round": true, "trunc": true,
+	"rint": true, "fract": true, "sign": true, "copysign": true,
+	"fmin": true, "fmax": true, "fmod": false, // fmod is a division
+	"fdim": true, "maxmag": true, "minmag": true, "degrees": true,
+	"radians": true, "step": true,
+}
+
+// Work-item and synchronization builtins: counted as other.
+var otherFns = map[string]bool{
+	"get_global_id": true, "get_local_id": true, "get_group_id": true,
+	"get_global_size": true, "get_local_size": true, "get_num_groups": true,
+	"get_work_dim": true, "get_global_offset": true,
+	"barrier": true, "mem_fence": true, "read_mem_fence": true,
+	"write_mem_fence": true, "work_group_barrier": true,
+	"isnan": true, "isinf": true, "isfinite": true, "signbit": true,
+	"select": true, "any": true, "all": true, "bitselect": true,
+}
+
+// call counts a function invocation and infers its return type.
+func (c *counter) call(e *Call, w float64, out *Counts) Type {
+	// Argument expressions are always evaluated.
+	argTypes := make([]Type, len(e.Args))
+	for i, a := range e.Args {
+		argTypes[i] = c.expr(a, w, out)
+	}
+	arg0 := Type{Base: "float", Width: 1}
+	if len(argTypes) > 0 {
+		arg0 = argTypes[0]
+	}
+	lanes := float64(arg0.Lanes())
+	name := e.Fun
+
+	switch {
+	case specialFns[name]:
+		out.add(OpSpecial, w)
+		return floatLike(arg0)
+
+	case cheapFloatFns[name]:
+		out.add(OpFloatAdd, w*lanes)
+		return floatLike(arg0)
+
+	case name == "fmod":
+		out.add(OpFloatDiv, w*lanes)
+		return floatLike(arg0)
+
+	case name == "mad" || name == "fma":
+		out.add(OpFloatMul, w*lanes)
+		out.add(OpFloatAdd, w*lanes)
+		return floatLike(arg0)
+
+	case name == "mad24" || name == "mul24":
+		out.add(OpIntMul, w*lanes)
+		if name == "mad24" {
+			out.add(OpIntAdd, w*lanes)
+		}
+		return arg0
+
+	case name == "min" || name == "max" || name == "abs" || name == "abs_diff" ||
+		name == "clamp" || name == "mix" || name == "smoothstep":
+		if arg0.IsFloat() || name == "mix" || name == "smoothstep" {
+			out.add(OpFloatAdd, w*lanes)
+			if name == "mix" || name == "smoothstep" {
+				out.add(OpFloatMul, w*lanes)
+			}
+			return floatLike(arg0)
+		}
+		out.add(OpIntAdd, w*lanes)
+		return arg0
+
+	case name == "dot":
+		n := lanes
+		out.add(OpFloatMul, w*n)
+		out.add(OpFloatAdd, w*(n-1))
+		return Type{Base: "float", Width: 1}
+
+	case name == "cross":
+		out.add(OpFloatMul, w*6)
+		out.add(OpFloatAdd, w*3)
+		return Type{Base: "float", Width: arg0.Lanes()}
+
+	case name == "length" || name == "fast_length":
+		out.add(OpFloatMul, w*lanes)
+		out.add(OpFloatAdd, w*(lanes-1))
+		out.add(OpSpecial, w) // sqrt
+		return Type{Base: "float", Width: 1}
+
+	case name == "distance" || name == "fast_distance":
+		out.add(OpFloatAdd, w*lanes) // subtraction
+		out.add(OpFloatMul, w*lanes)
+		out.add(OpFloatAdd, w*(lanes-1))
+		out.add(OpSpecial, w)
+		return Type{Base: "float", Width: 1}
+
+	case name == "normalize" || name == "fast_normalize":
+		out.add(OpFloatMul, w*lanes)
+		out.add(OpFloatAdd, w*(lanes-1))
+		out.add(OpSpecial, w) // rsqrt
+		out.add(OpFloatMul, w*lanes)
+		return arg0
+
+	case strings.HasPrefix(name, "vload"):
+		width := vectorSuffix(name, "vload")
+		if len(argTypes) == 2 {
+			pt := argTypes[1]
+			pt.Width = width
+			c.access(pt, w, 1, out)
+			pt.Pointer = false
+			return pt
+		}
+		return Type{Base: "float", Width: width}
+
+	case strings.HasPrefix(name, "vstore"):
+		width := vectorSuffix(name, "vstore")
+		if len(argTypes) == 3 {
+			pt := argTypes[2]
+			pt.Width = width
+			c.access(pt, w, 1, out)
+		}
+		return Type{Base: "void", Width: 1}
+
+	case strings.HasPrefix(name, "atomic_") || strings.HasPrefix(name, "atom_"):
+		// Atomic read-modify-write on the pointee's space.
+		if len(argTypes) > 0 && argTypes[0].Pointer {
+			c.access(argTypes[0], w, 2, out)
+		} else {
+			out.add(OpGlobalAccess, w*2)
+			out.GlobalBytes += 8 * w
+		}
+		out.add(OpIntAdd, w)
+		return Type{Base: "int", Width: 1}
+
+	case strings.HasPrefix(name, "convert_") || strings.HasPrefix(name, "as_"):
+		out.add(OpOther, w)
+		return convertTarget(name)
+
+	case otherFns[name]:
+		out.add(OpOther, w)
+		if strings.HasPrefix(name, "get_") {
+			return Type{Base: "size_t", Width: 1}
+		}
+		return Type{Base: "int", Width: 1}
+
+	case isTypeName(name):
+		// Vector constructor call form, e.g. float4(a,b,c,d).
+		base, width := splitVector(name)
+		return Type{Base: base, Width: width}
+	}
+
+	// User helper function: inline its counts.
+	if c.prog != nil {
+		if h := c.prog.Helper(name); h != nil {
+			out.merge(c.helperCounts(h), w)
+			return h.Return
+		}
+	}
+	// Unknown call: count as other, assume float result.
+	out.add(OpOther, w)
+	return Type{Base: "float", Width: 1}
+}
+
+// helperCounts memoizes counting of helper functions; recursion degrades to
+// a single Other op (the subset has no recursive kernels).
+func (c *counter) helperCounts(h *Function) Counts {
+	if cnt, ok := c.helpers[h.Name]; ok {
+		return cnt
+	}
+	if c.inFly[h.Name] {
+		var cnt Counts
+		cnt.add(OpOther, 1)
+		return cnt
+	}
+	c.inFly[h.Name] = true
+	sub := &counter{mode: c.mode, prog: c.prog, helpers: c.helpers, inFly: c.inFly}
+	cnt := sub.function(h)
+	delete(c.inFly, h.Name)
+	c.helpers[h.Name] = cnt
+	return cnt
+}
+
+func floatLike(t Type) Type {
+	if !t.IsFloat() {
+		t.Base = "float"
+	}
+	t.Pointer = false
+	return t
+}
+
+func vectorSuffix(name, prefix string) int {
+	s := strings.TrimPrefix(name, prefix)
+	switch s {
+	case "2":
+		return 2
+	case "3":
+		return 3
+	case "4":
+		return 4
+	case "8":
+		return 8
+	case "16":
+		return 16
+	}
+	return 1
+}
+
+func convertTarget(name string) Type {
+	s := name
+	s = strings.TrimPrefix(s, "convert_")
+	s = strings.TrimPrefix(s, "as_")
+	s = strings.TrimSuffix(s, "_sat")
+	s = strings.TrimSuffix(s, "_rte")
+	s = strings.TrimSuffix(s, "_rtz")
+	base, width := splitVector(s)
+	if width == 0 {
+		return Type{Base: "int", Width: 1}
+	}
+	return Type{Base: base, Width: width}
+}

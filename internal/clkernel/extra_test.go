@@ -1,0 +1,166 @@
+package clkernel
+
+import (
+	"testing"
+)
+
+func TestTernaryCountsSelect(t *testing.T) {
+	src := `__kernel void k(__global float* o, float x) {
+	    o[0] = (x > 0.0f) ? x * 2.0f : x + 1.0f;
+	}`
+	c := countSrc(t, src, Static)
+	if c.Ops[OpOther] < 2 { // compare + select
+		t.Errorf("other = %v, want >= 2 (compare + select)", c.Ops[OpOther])
+	}
+	if c.Ops[OpFloatMul] != 1 || c.Ops[OpFloatAdd] != 1 {
+		t.Errorf("both ternary arms must be counted: mul=%v add=%v",
+			c.Ops[OpFloatMul], c.Ops[OpFloatAdd])
+	}
+}
+
+func TestDoWhileWeighted(t *testing.T) {
+	src := `__kernel void k(__global float* o) {
+	    float acc = 0.0f;
+	    int i = 0;
+	    do { acc += 1.0f; i++; } while (i < 10);
+	    o[0] = acc;
+	}`
+	wt := countSrc(t, src, Weighted)
+	// Unknown-bound loops use DefaultTrip in weighted mode.
+	if wt.Ops[OpFloatAdd] != DefaultTrip {
+		t.Errorf("do-while weighted float_add = %v, want %v", wt.Ops[OpFloatAdd], DefaultTrip)
+	}
+	st := countSrc(t, src, Static)
+	if st.Ops[OpFloatAdd] != 1 {
+		t.Errorf("do-while static float_add = %v, want 1", st.Ops[OpFloatAdd])
+	}
+}
+
+func TestCastCounting(t *testing.T) {
+	src := `__kernel void k(__global float* o, int n) {
+	    float a = (float)n;   // int->float: conversion op
+	    int b = (int)a;       // float->int: conversion op
+	    float c = (float)a;   // float->float: free
+	    o[0] = a + c + (float)b;
+	}`
+	c := countSrc(t, src, Static)
+	if c.Ops[OpOther] < 3 {
+		t.Errorf("other = %v, want >= 3 conversions", c.Ops[OpOther])
+	}
+}
+
+func TestVectorSwizzle(t *testing.T) {
+	src := `__kernel void k(__global float4* o, float4 v) {
+	    float2 xy = v.xy;
+	    float s = xy.x + xy.y + v.w;
+	    o[0].x = s;
+	}`
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("swizzle parse: %v", err)
+	}
+	c := countSrc(t, src, Static)
+	if c.Ops[OpFloatAdd] != 2 {
+		t.Errorf("float_add = %v, want 2", c.Ops[OpFloatAdd])
+	}
+}
+
+func TestConstantSpaceCountsAsGlobal(t *testing.T) {
+	src := `__kernel void k(__constant float* lut, __global float* o) {
+	    o[0] = lut[0] + lut[1];
+	}`
+	c := countSrc(t, src, Static)
+	if c.Ops[OpGlobalAccess] != 3 { // 2 constant loads + 1 global store
+		t.Errorf("gl_access = %v, want 3", c.Ops[OpGlobalAccess])
+	}
+}
+
+func TestPointerDeref(t *testing.T) {
+	src := `__kernel void k(__global float* p) {
+	    *p = *p + 1.0f;
+	}`
+	c := countSrc(t, src, Static)
+	if c.Ops[OpGlobalAccess] != 2 { // load + store
+		t.Errorf("gl_access = %v, want 2", c.Ops[OpGlobalAccess])
+	}
+}
+
+func TestCompoundAssignOnDeref(t *testing.T) {
+	src := `__kernel void k(__global float* p) {
+	    *p += 2.0f;
+	}`
+	c := countSrc(t, src, Static)
+	if c.Ops[OpGlobalAccess] != 2 { // read-modify-write
+		t.Errorf("gl_access = %v, want 2", c.Ops[OpGlobalAccess])
+	}
+	if c.Ops[OpFloatAdd] != 1 {
+		t.Errorf("float_add = %v, want 1", c.Ops[OpFloatAdd])
+	}
+}
+
+func TestNegationClasses(t *testing.T) {
+	src := `__kernel void k(__global float* o, float x, int n) {
+	    float a = -x;  // float negate
+	    int b = -n;    // int negate
+	    int c = ~n;    // bitwise not
+	    o[0] = a + (float)(b + c);
+	}`
+	c := countSrc(t, src, Static)
+	if c.Ops[OpFloatAdd] < 2 {
+		t.Errorf("float_add = %v, want >= 2 (negate + add)", c.Ops[OpFloatAdd])
+	}
+	if c.Ops[OpIntBitwise] != 1 {
+		t.Errorf("int_bw = %v, want 1", c.Ops[OpIntBitwise])
+	}
+}
+
+func TestBreakContinueReturnCounted(t *testing.T) {
+	src := `__kernel void k(__global float* o, int n) {
+	    for (int i = 0; i < 8; i++) {
+	        if (i == n) { continue; }
+	        if (i > n) { break; }
+	    }
+	    o[0] = 1.0f;
+	    return;
+	}`
+	c := countSrc(t, src, Static)
+	if c.Ops[OpOther] < 5 { // 2 compares + continue + break + return
+		t.Errorf("other = %v, want >= 5", c.Ops[OpOther])
+	}
+}
+
+func TestSelectBuiltinAndIsnan(t *testing.T) {
+	src := `__kernel void k(__global float* o, float x) {
+	    float a = select(x, 2.0f * x, isnan(x));
+	    o[0] = a;
+	}`
+	c := countSrc(t, src, Static)
+	if c.Ops[OpOther] < 2 {
+		t.Errorf("other = %v, want >= 2 (select + isnan)", c.Ops[OpOther])
+	}
+	if c.Ops[OpFloatMul] != 1 {
+		t.Errorf("float_mul = %v, want 1", c.Ops[OpFloatMul])
+	}
+}
+
+func TestZeroTripLoopWeighted(t *testing.T) {
+	src := `__kernel void k(__global float* o) {
+	    float acc = 0.0f;
+	    for (int i = 5; i < 5; i++) { acc += 1.0f; }
+	    o[0] = acc;
+	}`
+	wt := countSrc(t, src, Weighted)
+	if wt.Ops[OpFloatAdd] != 0 {
+		t.Errorf("zero-trip loop weighted float_add = %v, want 0", wt.Ops[OpFloatAdd])
+	}
+}
+
+func TestLongAndDoubleSizes(t *testing.T) {
+	src := `__kernel void k(__global double* d, __global long* l) {
+	    d[0] = 1.5;
+	    l[0] = 1;
+	}`
+	c := countSrc(t, src, Static)
+	if c.GlobalBytes != 16 { // 8 + 8
+		t.Errorf("GlobalBytes = %v, want 16", c.GlobalBytes)
+	}
+}

@@ -1,0 +1,296 @@
+package clkernel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SyntaxError describes a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("clkernel: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lexer scans OpenCL C source into tokens. It resolves simple object-like
+// #define macros (the only preprocessor feature the subset supports) and
+// strips // and /* */ comments.
+type lexer struct {
+	src     string
+	pos     int
+	line    int
+	col     int
+	defines map[string][]Token
+}
+
+// Lex tokenizes src, expanding object-like #define macros. It returns the
+// token stream terminated by a TokEOF token.
+func Lex(src string) ([]Token, error) {
+	lx := &lexer{src: src, line: 1, col: 1, defines: map[string][]Token{}}
+	var out []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		if tok.Kind == TokIdent {
+			if repl, ok := lx.defines[tok.Text]; ok {
+				out = append(out, repl...)
+				continue
+			}
+		}
+		out = append(out, tok)
+		if tok.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return &SyntaxError{Line: lx.line, Col: lx.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peekByteAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peekByteAt(1) == '/':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peekByteAt(1) == '*':
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.pos >= len(lx.src) {
+					return lx.errf("unterminated block comment")
+				}
+				if lx.peekByte() == '*' && lx.peekByteAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		case c == '#':
+			if err := lx.directive(); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// directive handles a preprocessor line. Only "#define NAME tokens..." and
+// "#pragma ..." (ignored) are supported; anything else is an error so that
+// unsupported input fails loudly rather than silently mis-counting.
+func (lx *lexer) directive() error {
+	startLine := lx.line
+	lx.advance() // '#'
+	var word strings.Builder
+	for lx.pos < len(lx.src) && isIdentChar(lx.peekByte()) {
+		word.WriteByte(lx.advance())
+	}
+	rest := lx.restOfLine()
+	switch word.String() {
+	case "pragma":
+		return nil
+	case "define":
+		rest = strings.TrimSpace(rest)
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			return &SyntaxError{Line: startLine, Col: 1, Msg: "#define without a name"}
+		}
+		name := fields[0]
+		if strings.Contains(name, "(") {
+			return &SyntaxError{Line: startLine, Col: 1,
+				Msg: "function-like macros are not supported: " + name}
+		}
+		body := strings.TrimSpace(strings.TrimPrefix(rest, name))
+		toks, err := Lex(body)
+		if err != nil {
+			return err
+		}
+		toks = toks[:len(toks)-1] // drop EOF
+		// Expand previously defined macros inside the body (define-before-use).
+		var expanded []Token
+		for _, t := range toks {
+			if t.Kind == TokIdent {
+				if repl, ok := lx.defines[t.Text]; ok {
+					expanded = append(expanded, repl...)
+					continue
+				}
+			}
+			expanded = append(expanded, t)
+		}
+		lx.defines[name] = expanded
+		return nil
+	default:
+		return &SyntaxError{Line: startLine, Col: 1,
+			Msg: "unsupported preprocessor directive #" + word.String()}
+	}
+}
+
+func (lx *lexer) restOfLine() string {
+	start := lx.pos
+	for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+		lx.advance()
+	}
+	return lx.src[start:lx.pos]
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next scans and returns the next token.
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Line: lx.line, Col: lx.col}, nil
+	}
+	line, col := lx.line, lx.col
+	c := lx.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentChar(lx.peekByte()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+	case isDigit(c) || (c == '.' && isDigit(lx.peekByteAt(1))):
+		return lx.number(line, col)
+	default:
+		return lx.punct(line, col)
+	}
+}
+
+func (lx *lexer) number(line, col int) (Token, error) {
+	start := lx.pos
+	isFloat := false
+	if lx.peekByte() == '0' && (lx.peekByteAt(1) == 'x' || lx.peekByteAt(1) == 'X') {
+		lx.advance()
+		lx.advance()
+		for lx.pos < len(lx.src) && isHexDigit(lx.peekByte()) {
+			lx.advance()
+		}
+	} else {
+		for lx.pos < len(lx.src) && isDigit(lx.peekByte()) {
+			lx.advance()
+		}
+		if lx.peekByte() == '.' {
+			isFloat = true
+			lx.advance()
+			for lx.pos < len(lx.src) && isDigit(lx.peekByte()) {
+				lx.advance()
+			}
+		}
+		if b := lx.peekByte(); b == 'e' || b == 'E' {
+			isFloat = true
+			lx.advance()
+			if b := lx.peekByte(); b == '+' || b == '-' {
+				lx.advance()
+			}
+			if !isDigit(lx.peekByte()) {
+				return Token{}, lx.errf("malformed exponent")
+			}
+			for lx.pos < len(lx.src) && isDigit(lx.peekByte()) {
+				lx.advance()
+			}
+		}
+	}
+	// Suffixes: f/F marks float; u/U and l/L are integer qualifiers.
+	for {
+		b := lx.peekByte()
+		if b == 'f' || b == 'F' {
+			isFloat = true
+			lx.advance()
+			continue
+		}
+		if b == 'u' || b == 'U' || b == 'l' || b == 'L' {
+			lx.advance()
+			continue
+		}
+		break
+	}
+	text := lx.src[start:lx.pos]
+	kind := TokIntLit
+	if isFloat {
+		kind = TokFloatLit
+	}
+	return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// multi-character operators, longest first within each leading byte.
+var multiOps = []string{
+	"<<=", ">>=",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+}
+
+func (lx *lexer) punct(line, col int) (Token, error) {
+	for _, op := range multiOps {
+		if strings.HasPrefix(lx.src[lx.pos:], op) {
+			for range op {
+				lx.advance()
+			}
+			return Token{Kind: TokPunct, Text: op, Line: line, Col: col}, nil
+		}
+	}
+	c := lx.advance()
+	switch c {
+	case '+', '-', '*', '/', '%', '<', '>', '=', '!', '&', '|', '^', '~',
+		'(', ')', '{', '}', '[', ']', ';', ',', '.', '?', ':':
+		return Token{Kind: TokPunct, Text: string(c), Line: line, Col: col}, nil
+	}
+	return Token{}, &SyntaxError{Line: line, Col: col,
+		Msg: fmt.Sprintf("unexpected character %q", c)}
+}

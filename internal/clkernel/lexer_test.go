@@ -1,0 +1,185 @@
+package clkernel
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexKinds(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := lexKinds(t, "int x = 42;")
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TokKeyword, "int"}, {TokIdent, "x"}, {TokPunct, "="},
+		{TokIntLit, "42"}, {TokPunct, ";"}, {TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = {%v %q}, want {%v %q}", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind TokenKind
+	}{
+		{"42", TokIntLit},
+		{"0x1F", TokIntLit},
+		{"42u", TokIntLit},
+		{"42UL", TokIntLit},
+		{"3.14", TokFloatLit},
+		{"3.14f", TokFloatLit},
+		{"1e10", TokFloatLit},
+		{"1.5e-3f", TokFloatLit},
+		{".5", TokFloatLit},
+		{"2.f", TokFloatLit},
+		{"7F", TokFloatLit}, // integer digits with float suffix
+	}
+	for _, c := range cases {
+		toks := lexKinds(t, c.src)
+		if toks[0].Kind != c.kind {
+			t.Errorf("Lex(%q)[0].Kind = %v, want %v", c.src, toks[0].Kind, c.kind)
+		}
+		if toks[0].Text != c.src {
+			t.Errorf("Lex(%q)[0].Text = %q", c.src, toks[0].Text)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+// line comment
+int /* block
+comment */ y;`
+	toks := lexKinds(t, src)
+	if len(toks) != 4 { // int y ; EOF
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	if toks[0].Text != "int" || toks[1].Text != "y" {
+		t.Errorf("unexpected tokens %v", toks)
+	}
+}
+
+func TestLexUnterminatedComment(t *testing.T) {
+	if _, err := Lex("/* never closed"); err == nil {
+		t.Error("expected error for unterminated comment")
+	}
+}
+
+func TestLexDefine(t *testing.T) {
+	src := `
+#define WIDTH 256
+#define HALF (WIDTH / 2)
+int a = WIDTH + HALF;`
+	toks := lexKinds(t, src)
+	var texts []string
+	for _, tok := range toks {
+		texts = append(texts, tok.Text)
+	}
+	joined := strings.Join(texts, " ")
+	if !strings.Contains(joined, "256") {
+		t.Errorf("macro WIDTH not expanded: %s", joined)
+	}
+	if strings.Contains(joined, "WIDTH") {
+		t.Errorf("macro name leaked into stream: %s", joined)
+	}
+}
+
+func TestLexPragmaIgnored(t *testing.T) {
+	toks := lexKinds(t, "#pragma OPENCL EXTENSION cl_khr_fp64 : enable\nint x;")
+	if toks[0].Text != "int" {
+		t.Errorf("pragma not skipped, first token %v", toks[0])
+	}
+}
+
+func TestLexFunctionMacroRejected(t *testing.T) {
+	if _, err := Lex("#define SQ(x) ((x)*(x))\n"); err == nil {
+		t.Error("expected error for function-like macro")
+	}
+}
+
+func TestLexUnknownDirective(t *testing.T) {
+	if _, err := Lex("#include <foo.h>\n"); err == nil {
+		t.Error("expected error for #include")
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "a <<= b >>= c == d != e <= f >= g && h || i << j >> k += l ++ --"
+	toks := lexKinds(t, src)
+	var ops []string
+	for _, tok := range toks {
+		if tok.Kind == TokPunct {
+			ops = append(ops, tok.Text)
+		}
+	}
+	want := []string{"<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "++", "--"}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %q, want %q", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lexKinds(t, "int\n  x;")
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("int at %d:%d, want 1:1", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("x at %d:%d, want 2:3", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestLexErrorPosition(t *testing.T) {
+	_, err := Lex("int x = @;")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T, want *SyntaxError", err)
+	}
+	if se.Line != 1 || se.Col != 9 {
+		t.Errorf("error at %d:%d, want 1:9", se.Line, se.Col)
+	}
+}
+
+func TestSplitVector(t *testing.T) {
+	cases := []struct {
+		in    string
+		base  string
+		width int
+	}{
+		{"float", "float", 1},
+		{"float4", "float", 4},
+		{"int16", "int", 16},
+		{"uchar2", "uchar", 2},
+		{"float5", "float5", 0}, // invalid lane count
+		{"x4", "x", 4},
+	}
+	for _, c := range cases {
+		base, width := splitVector(c.in)
+		if base != c.base || width != c.width {
+			t.Errorf("splitVector(%q) = (%q, %d), want (%q, %d)", c.in, base, width, c.base, c.width)
+		}
+	}
+}

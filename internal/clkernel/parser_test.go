@@ -1,0 +1,249 @@
+package clkernel
+
+import (
+	"strings"
+	"testing"
+)
+
+const simpleKernel = `
+__kernel void add(__global const float* a, __global const float* b,
+                  __global float* out, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        out[i] = a[i] + b[i];
+    }
+}`
+
+func TestParseSimpleKernel(t *testing.T) {
+	prog, err := Parse(simpleKernel)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Kernels) != 1 {
+		t.Fatalf("got %d kernels, want 1", len(prog.Kernels))
+	}
+	k := prog.Kernels[0]
+	if k.Name != "add" {
+		t.Errorf("kernel name = %q, want add", k.Name)
+	}
+	if len(k.Params) != 4 {
+		t.Fatalf("got %d params, want 4", len(k.Params))
+	}
+	if k.Params[0].Type.Space != Global || !k.Params[0].Type.Pointer {
+		t.Errorf("param a type = %+v, want global pointer", k.Params[0].Type)
+	}
+	if k.Params[3].Type.Base != "int" || k.Params[3].Type.Pointer {
+		t.Errorf("param n type = %+v, want int scalar", k.Params[3].Type)
+	}
+	if len(k.Body.Stmts) != 2 {
+		t.Errorf("body has %d stmts, want 2", len(k.Body.Stmts))
+	}
+}
+
+func TestParseHelperFunction(t *testing.T) {
+	src := `
+float square(float x) { return x * x; }
+__kernel void k(__global float* o) {
+    o[get_global_id(0)] = square(2.0f);
+}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Helpers) != 1 || prog.Helpers[0].Name != "square" {
+		t.Fatalf("helpers = %v", prog.Helpers)
+	}
+	if prog.Helper("square") == nil {
+		t.Error("Helper(square) = nil")
+	}
+	if prog.Kernel("k") == nil {
+		t.Error("Kernel(k) = nil")
+	}
+	if prog.Kernel("nope") != nil {
+		t.Error("Kernel(nope) != nil")
+	}
+}
+
+func TestParseNoKernel(t *testing.T) {
+	if _, err := Parse("float f(float x) { return x; }"); err == nil {
+		t.Error("expected error for translation unit without kernels")
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	src := `
+__kernel void k(__global float* o, int n) {
+    float acc = 0.0f;
+    for (int i = 0; i < 16; i++) {
+        acc += 1.0f;
+    }
+    int j = 0;
+    while (j < n) { j++; }
+    do { j--; } while (j > 0);
+    if (n > 3) acc = 1.0f; else acc = 2.0f;
+    o[0] = acc;
+}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	body := prog.Kernels[0].Body.Stmts
+	if _, ok := body[1].(*ForStmt); !ok {
+		t.Errorf("stmt 1 is %T, want *ForStmt", body[1])
+	}
+	if w, ok := body[3].(*WhileStmt); !ok || w.Do {
+		t.Errorf("stmt 3 is %T (Do=%v), want while", body[3], ok)
+	}
+	if w, ok := body[4].(*WhileStmt); !ok || !w.Do {
+		t.Errorf("stmt 4 is %T, want do-while", body[4])
+	}
+	iff, ok := body[5].(*IfStmt)
+	if !ok {
+		t.Fatalf("stmt 5 is %T, want *IfStmt", body[5])
+	}
+	if iff.Else == nil {
+		t.Error("if statement lost its else branch")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	src := `__kernel void k(__global int* o) { o[0] = 1 + 2 * 3; }`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	es := prog.Kernels[0].Body.Stmts[0].(*ExprStmt)
+	asn := es.X.(*Binary)
+	if asn.Op != "=" {
+		t.Fatalf("top op = %q, want =", asn.Op)
+	}
+	add := asn.R.(*Binary)
+	if add.Op != "+" {
+		t.Fatalf("rhs op = %q, want +", add.Op)
+	}
+	mul, ok := add.R.(*Binary)
+	if !ok || mul.Op != "*" {
+		t.Fatalf("mul side = %#v, want 2*3", add.R)
+	}
+}
+
+func TestParseTernaryAndCast(t *testing.T) {
+	src := `__kernel void k(__global float* o, int n) {
+	    o[0] = (n > 0) ? (float)n : 0.0f;
+	}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	es := prog.Kernels[0].Body.Stmts[0].(*ExprStmt)
+	asn := es.X.(*Binary)
+	tern, ok := asn.R.(*Ternary)
+	if !ok {
+		t.Fatalf("rhs is %T, want *Ternary", asn.R)
+	}
+	if _, ok := tern.Then.(*Cast); !ok {
+		t.Errorf("then branch is %T, want *Cast", tern.Then)
+	}
+}
+
+func TestParseVectorTypesAndMembers(t *testing.T) {
+	src := `__kernel void k(__global float4* o) {
+	    float4 v = o[0];
+	    float x = v.x + v.w;
+	    o[1].x = x;
+	    float2 half_v = v.xy;
+	    o[2] = v;
+	    (void)half_v;
+	}`
+	// (void) cast of an ident is unusual but exercises cast parsing.
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	k := prog.Kernels[0]
+	if k.Params[0].Type.Width != 4 {
+		t.Errorf("param width = %d, want 4", k.Params[0].Type.Width)
+	}
+}
+
+func TestParseLocalArray(t *testing.T) {
+	src := `__kernel void k(__global float* o) {
+	    __local float tile[256];
+	    float priv[8];
+	    tile[get_local_id(0)] = 1.0f;
+	    priv[0] = tile[0];
+	    barrier(CLK_LOCAL_MEM_FENCE);
+	    o[0] = priv[0];
+	}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	d := prog.Kernels[0].Body.Stmts[0].(*DeclStmt)
+	if d.Type.Space != Local {
+		t.Errorf("tile space = %v, want Local", d.Type.Space)
+	}
+	if d.Names[0].ArrLen != 256 {
+		t.Errorf("tile length = %d, want 256", d.Names[0].ArrLen)
+	}
+}
+
+func TestParseMultiDeclarators(t *testing.T) {
+	src := `__kernel void k(__global float* o) {
+	    int a = 1, b = 2, c;
+	    c = a + b;
+	    o[0] = (float)c;
+	}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	d := prog.Kernels[0].Body.Stmts[0].(*DeclStmt)
+	if len(d.Names) != 3 {
+		t.Errorf("got %d declarators, want 3", len(d.Names))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"__kernel void k( { }",
+		"__kernel void k() { int ; }",
+		"__kernel void k() { x = ; }",
+		"__kernel void k() { if (x { } }",
+		"__kernel void k() { for (;;) }",
+		"__kernel void k() {",
+		"__kernel void 3bad() { }",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		} else if !strings.Contains(err.Error(), "clkernel:") {
+			t.Errorf("error %q lacks package prefix", err)
+		}
+	}
+}
+
+func TestParseUnsigned(t *testing.T) {
+	src := `__kernel void k(__global unsigned int* o, unsigned n) {
+	    o[0] = n;
+	}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if prog.Kernels[0].Params[0].Type.Base != "uint" {
+		t.Errorf("param 0 base = %q, want uint", prog.Kernels[0].Params[0].Type.Base)
+	}
+	if prog.Kernels[0].Params[1].Type.Base != "uint" {
+		t.Errorf("param 1 base = %q, want uint", prog.Kernels[0].Params[1].Type.Base)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("not a kernel")
+}

@@ -1,0 +1,107 @@
+// Package clkernel implements a front-end for a practical subset of
+// OpenCL C: a lexer, a recursive-descent parser producing an AST, and an
+// instruction-counting lowering pass.
+//
+// The pass classifies operations into the ten instruction classes the paper
+// uses as static code features (integer add/mul/div/bitwise, float
+// add/mul/div, special functions, global-memory accesses, local-memory
+// accesses) plus an "other" bucket (control flow, comparisons, work-item
+// queries) that contributes to the total used for normalization.
+//
+// Two counting modes are provided. Static mode counts every instruction in
+// the kernel body once, mirroring the paper's LLVM-IR pass; Weighted mode
+// multiplies loop bodies by their (literal) trip counts and is used by the
+// GPU simulator to derive a per-work-item dynamic profile from the same
+// source.
+package clkernel
+
+import "fmt"
+
+// TokenKind enumerates lexical token categories.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokIntLit
+	TokFloatLit
+	TokKeyword
+	TokPunct // operators and punctuation
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "EOF"
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords of the supported OpenCL C subset. Address-space qualifiers appear
+// both with and without the double-underscore prefix, as in real kernels.
+var keywords = map[string]bool{
+	"__kernel": true, "kernel": true,
+	"__global": true, "global": true,
+	"__local": true, "local": true,
+	"__constant": true, "constant": true,
+	"__private": true, "private": true,
+	"const": true, "restrict": true, "volatile": true, "unsigned": true,
+	"if": true, "else": true, "for": true, "while": true, "do": true,
+	"return": true, "break": true, "continue": true,
+	"void": true, "bool": true, "char": true, "uchar": true,
+	"short": true, "ushort": true, "int": true, "uint": true,
+	"long": true, "ulong": true, "float": true, "double": true,
+	"half": true, "size_t": true,
+}
+
+// vectorBase lists scalar types that admit vector suffixes (float4, int2...).
+var vectorBase = map[string]bool{
+	"char": true, "uchar": true, "short": true, "ushort": true,
+	"int": true, "uint": true, "long": true, "ulong": true,
+	"float": true, "double": true, "half": true,
+}
+
+// isTypeName reports whether the identifier names a supported type,
+// including vector forms such as "float4".
+func isTypeName(s string) bool {
+	switch s {
+	case "void", "bool", "char", "uchar", "short", "ushort", "int", "uint",
+		"long", "ulong", "float", "double", "half", "size_t", "unsigned":
+		return true
+	}
+	base, n := splitVector(s)
+	return n > 1 && vectorBase[base]
+}
+
+// splitVector splits a possible vector type name into its scalar base and
+// lane count; scalar names return width 1, non-types return width 0.
+func splitVector(s string) (base string, width int) {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] < '0' || s[i] > '9' {
+			if i == len(s)-1 {
+				return s, 1
+			}
+			base = s[:i+1]
+			w := 0
+			for _, c := range s[i+1:] {
+				w = w*10 + int(c-'0')
+			}
+			switch w {
+			case 2, 3, 4, 8, 16:
+				return base, w
+			}
+			return s, 0
+		}
+	}
+	return s, 0
+}

@@ -1,0 +1,332 @@
+// Package core implements the paper's contribution: a two-phase predictive
+// framework for GPU frequency scaling (Sections 3.1–3.4).
+//
+// Training phase: the 106 synthetic micro-benchmarks are executed on the
+// (simulated) device at ~40 sampled frequency settings each; their static
+// code features combined with the normalized frequency configuration form
+// the 12-dimensional inputs of two ε-SVR models — a linear-kernel model for
+// speedup and an RBF-kernel model for normalized energy (C=1000, ε=0.1,
+// γ=0.1).
+//
+// Prediction phase: for a new kernel, only its static features are needed —
+// the kernel is never executed. Both models are evaluated at every supported
+// frequency configuration of the three highest memory clocks, the paper's
+// Algorithm 1 derives the Pareto set, and the mem-L heuristic appends the
+// highest-core configuration of the lowest memory clock (Section 4.5).
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/features"
+	"repro/internal/freq"
+	"repro/internal/gpu"
+	"repro/internal/measure"
+	"repro/internal/pareto"
+	"repro/internal/svm"
+)
+
+// Options configures training. Zero values select the paper's setup.
+type Options struct {
+	// SettingsPerKernel is the number of sampled frequency settings per
+	// micro-benchmark (paper: 40).
+	SettingsPerKernel int
+	// SpeedupKernel and EnergyKernel override the SVR kernels (paper:
+	// linear for speedup, RBF γ=0.1 for energy).
+	SpeedupKernel svm.Kernel
+	EnergyKernel  svm.Kernel
+	// Params are the shared SVR hyper-parameters (paper: C=1000, ε=0.1).
+	Params svm.Params
+}
+
+func (o Options) withDefaults() Options {
+	if o.SettingsPerKernel <= 0 {
+		o.SettingsPerKernel = 40
+	}
+	if o.SpeedupKernel == nil {
+		o.SpeedupKernel = svm.Linear{}
+	}
+	if o.EnergyKernel == nil {
+		// The paper states γ=0.1 for its feature scaling; on this
+		// substrate's feature distribution the equivalent smoothness is
+		// γ=4 (see the Ablation benchmarks, which sweep γ including the
+		// paper's value).
+		o.EnergyKernel = svm.RBF{Gamma: 4}
+	}
+	if o.Params.C == 0 {
+		o.Params = svm.Params{C: 1000, Epsilon: 0.1}
+	}
+	return o
+}
+
+// Sample is one training observation: a kernel execution at a frequency
+// setting with its measured objectives.
+type Sample struct {
+	Kernel     string
+	Config     freq.Config
+	Vector     features.Vector
+	Speedup    float64
+	NormEnergy float64
+}
+
+// TrainingKernel couples a kernel's static features with its execution
+// profile; internal/synth benchmarks satisfy it via Adapt.
+type TrainingKernel struct {
+	Name     string
+	Features features.Static
+	Profile  gpu.KernelProfile
+}
+
+// BuildTrainingSet executes every training kernel at the sampled frequency
+// settings and assembles the supervised training set (training-phase steps
+// 1–4 of Fig. 2).
+func BuildTrainingSet(h *measure.Harness, kernels []TrainingKernel, opt Options) ([]Sample, error) {
+	opt = opt.withDefaults()
+	ladder := h.Device().Sim().Ladder
+	settings := ladder.TrainingSample(opt.SettingsPerKernel)
+	var out []Sample
+	for _, k := range kernels {
+		base, err := h.Baseline(k.Profile)
+		if err != nil {
+			return nil, fmt.Errorf("core: baseline for %s: %w", k.Name, err)
+		}
+		for _, cfg := range settings {
+			rel, err := h.MeasureRelative(k.Profile, cfg, base)
+			if err != nil {
+				return nil, fmt.Errorf("core: measuring %s at %v: %w", k.Name, cfg, err)
+			}
+			out = append(out, Sample{
+				Kernel:     k.Name,
+				Config:     rel.Config,
+				Vector:     features.Combine(k.Features, rel.Config),
+				Speedup:    rel.Speedup,
+				NormEnergy: rel.NormEnergy,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Models holds the two trained single-objective models.
+type Models struct {
+	Speedup *svm.Model
+	Energy  *svm.Model
+}
+
+// Train fits the speedup and normalized-energy SVR models on the training
+// set (training-phase steps 5–6 of Fig. 2).
+func Train(samples []Sample, opt Options) (*Models, error) {
+	opt = opt.withDefaults()
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	xs := make([][]float64, len(samples))
+	ys := make([]float64, len(samples))
+	es := make([]float64, len(samples))
+	for i, s := range samples {
+		xs[i] = s.Vector.Slice()
+		ys[i] = s.Speedup
+		es[i] = s.NormEnergy
+	}
+	sm, err := svm.Train(xs, ys, opt.SpeedupKernel, opt.Params)
+	if err != nil {
+		return nil, fmt.Errorf("core: training speedup model: %w", err)
+	}
+	em, err := svm.Train(xs, es, opt.EnergyKernel, opt.Params)
+	if err != nil {
+		return nil, fmt.Errorf("core: training energy model: %w", err)
+	}
+	return &Models{Speedup: sm, Energy: em}, nil
+}
+
+// Prediction is one predicted kernel execution: a frequency configuration
+// with its predicted objectives.
+type Prediction struct {
+	Config     freq.Config `json:"config"`
+	Speedup    float64     `json:"speedup"`
+	NormEnergy float64     `json:"norm_energy"`
+	// MemLHeuristic marks the configuration appended by the mem-L rule
+	// rather than predicted by the models.
+	MemLHeuristic bool `json:"mem_l_heuristic,omitempty"`
+}
+
+// Predictor evaluates trained models over a device's frequency domain.
+type Predictor struct {
+	Models *Models
+	Ladder *freq.Ladder
+}
+
+// NewPredictor binds models to a frequency ladder.
+func NewPredictor(m *Models, ladder *freq.Ladder) *Predictor {
+	return &Predictor{Models: m, Ladder: ladder}
+}
+
+// modeledMems returns the memory clocks the models are applied to during
+// Pareto prediction: all but the lowest (mem-L is excluded and handled by
+// the heuristic; Section 4.5).
+func (p *Predictor) modeledMems() []freq.MHz {
+	mems := p.Ladder.MemClocks()
+	if len(mems) <= 1 {
+		return mems
+	}
+	// MemClocks is descending; drop the last (lowest).
+	return mems[:len(mems)-1]
+}
+
+// PredictConfig predicts both objectives for one configuration.
+func (p *Predictor) PredictConfig(st features.Static, cfg freq.Config) Prediction {
+	v := features.Combine(st, cfg).Slice()
+	return Prediction{
+		Config:     cfg,
+		Speedup:    p.Models.Speedup.Predict(v),
+		NormEnergy: p.Models.Energy.Predict(v),
+	}
+}
+
+// PredictAll predicts both objectives at every supported configuration of
+// the given memory clocks (nil = the modeled clocks: all but mem-L).
+func (p *Predictor) PredictAll(st features.Static, mems []freq.MHz) []Prediction {
+	if mems == nil {
+		mems = p.modeledMems()
+	}
+	var out []Prediction
+	for _, m := range mems {
+		for _, c := range p.Ladder.CoreClocks(m) {
+			out = append(out, p.PredictConfig(st, freq.Config{Mem: m, Core: c}))
+		}
+	}
+	return out
+}
+
+// ParetoSet predicts the Pareto-optimal frequency configurations for a
+// kernel given only its static features (prediction-phase steps 1–9 of
+// Fig. 3): model predictions over the three highest memory clocks, the
+// paper's Algorithm 1, plus the mem-L heuristic configuration.
+func (p *Predictor) ParetoSet(st features.Static) []Prediction {
+	return p.paretoOf(st, p.PredictAll(st, nil))
+}
+
+// ParetoSetOver is ParetoSet restricted to the given candidate
+// configurations (e.g. the 40-setting evaluation sample the paper uses).
+// Lowest-memory-clock candidates are excluded from modeling, as in
+// ParetoSet, and replaced by the mem-L heuristic configuration.
+func (p *Predictor) ParetoSetOver(st features.Static, cfgs []freq.Config) []Prediction {
+	mems := p.Ladder.MemClocks()
+	low := mems[len(mems)-1]
+	var preds []Prediction
+	for _, cfg := range cfgs {
+		if len(mems) > 1 && cfg.Mem == low {
+			continue
+		}
+		preds = append(preds, p.PredictConfig(st, cfg))
+	}
+	return p.paretoOf(st, preds)
+}
+
+func (p *Predictor) paretoOf(st features.Static, preds []Prediction) []Prediction {
+	pts := make([]pareto.Point, len(preds))
+	for i, pr := range preds {
+		pts[i] = pareto.Point{Speedup: pr.Speedup, Energy: pr.NormEnergy, ID: i}
+	}
+	front := pareto.Simple(pts)
+	out := make([]Prediction, 0, len(front)+1)
+	for _, f := range front {
+		out = append(out, preds[f.ID])
+	}
+	if heur, ok := p.memLHeuristic(st); ok {
+		out = append(out, heur)
+	}
+	return out
+}
+
+// memLHeuristic returns the highest-core configuration of the lowest memory
+// clock, flagged as heuristic, with model-extrapolated objective values
+// attached for reference. ok is false when the ladder has a single memory
+// clock (e.g. the P100).
+func (p *Predictor) memLHeuristic(st features.Static) (Prediction, bool) {
+	mems := p.Ladder.MemClocks()
+	if len(mems) <= 1 {
+		return Prediction{}, false
+	}
+	low := mems[len(mems)-1]
+	cores := p.Ladder.CoreClocks(low)
+	if len(cores) == 0 {
+		return Prediction{}, false
+	}
+	cfg := freq.Config{Mem: low, Core: cores[len(cores)-1]}
+	pr := p.PredictConfig(st, cfg)
+	pr.MemLHeuristic = true
+	return pr, true
+}
+
+// PredictSource is the end-to-end prediction entry point: parse OpenCL
+// source, extract static features, and predict the Pareto set.
+func (p *Predictor) PredictSource(src, kernelName string) ([]Prediction, error) {
+	st, err := features.ExtractSource(src, kernelName)
+	if err != nil {
+		return nil, err
+	}
+	return p.ParetoSet(st), nil
+}
+
+// modelsJSON is the serialized form of Models.
+type modelsJSON struct {
+	Speedup json.RawMessage `json:"speedup"`
+	Energy  json.RawMessage `json:"energy"`
+}
+
+// Save writes both models as a single JSON document.
+func (m *Models) Save(w io.Writer) error {
+	var sb, eb bytes.Buffer
+	if err := m.Speedup.Save(&sb); err != nil {
+		return err
+	}
+	if err := m.Energy.Save(&eb); err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(modelsJSON{Speedup: sb.Bytes(), Energy: eb.Bytes()})
+}
+
+// Load reads models saved by Save.
+func Load(r io.Reader) (*Models, error) {
+	var mj modelsJSON
+	if err := json.NewDecoder(r).Decode(&mj); err != nil {
+		return nil, fmt.Errorf("core: decode models: %w", err)
+	}
+	sm, err := svm.Load(bytes.NewReader(mj.Speedup))
+	if err != nil {
+		return nil, fmt.Errorf("core: speedup model: %w", err)
+	}
+	em, err := svm.Load(bytes.NewReader(mj.Energy))
+	if err != nil {
+		return nil, fmt.Errorf("core: energy model: %w", err)
+	}
+	return &Models{Speedup: sm, Energy: em}, nil
+}
+
+// SaveFile writes the models to a file path.
+func (m *Models) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads models from a file path.
+func LoadFile(path string) (*Models, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

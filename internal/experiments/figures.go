@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/freq"
+	"repro/internal/measure"
+)
+
+// Fig1Benchmarks are the two motivational applications of Fig. 1.
+var Fig1Benchmarks = []string{"k-NN", "MT"}
+
+// Fig1Series is one memory clock's curve: speedup and normalized energy
+// over the core clocks of its ladder.
+type Fig1Series struct {
+	Mem    freq.MHz
+	Points []measure.Relative // ascending core clock
+}
+
+// Fig1Data holds the sweep series of one benchmark.
+type Fig1Data struct {
+	Benchmark string
+	Series    []Fig1Series // descending memory clock (H, h, l, L)
+}
+
+// Fig1 reproduces Fig. 1: exhaustive frequency sweeps of k-NN and MT with
+// speedup and normalized energy per configuration.
+func (s *Suite) Fig1() ([]Fig1Data, error) {
+	var out []Fig1Data
+	for _, name := range Fig1Benchmarks {
+		rels, err := s.Sweep(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, groupByMem(name, rels))
+	}
+	return out, nil
+}
+
+func groupByMem(name string, rels []measure.Relative) Fig1Data {
+	byMem := map[freq.MHz][]measure.Relative{}
+	var mems []freq.MHz
+	for _, r := range rels {
+		if _, ok := byMem[r.Config.Mem]; !ok {
+			mems = append(mems, r.Config.Mem)
+		}
+		byMem[r.Config.Mem] = append(byMem[r.Config.Mem], r)
+	}
+	sort.Slice(mems, func(i, j int) bool { return mems[i] > mems[j] })
+	d := Fig1Data{Benchmark: name}
+	for _, m := range mems {
+		pts := byMem[m]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Config.Core < pts[j].Config.Core })
+		d.Series = append(d.Series, Fig1Series{Mem: m, Points: pts})
+	}
+	return d
+}
+
+// RenderFig1 prints the Fig. 1 series as aligned text tables.
+func RenderFig1(w io.Writer, data []Fig1Data) {
+	for _, d := range data {
+		fmt.Fprintf(w, "Figure 1: %s — speedup / normalized energy vs core frequency\n", d.Benchmark)
+		for _, ser := range d.Series {
+			fmt.Fprintf(w, "  %s (%d MHz):\n", freq.MemLabel(ser.Mem), ser.Mem)
+			fmt.Fprintf(w, "    %-6s  %8s  %8s\n", "core", "speedup", "energy")
+			for _, p := range ser.Points {
+				fmt.Fprintf(w, "    %-6d  %8.3f  %8.3f\n", p.Config.Core, p.Speedup, p.NormEnergy)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig4Row describes one memory clock's supported core-clock list on a
+// device, including the claimed-but-clamped gray configurations.
+type Fig4Row struct {
+	Device  string
+	Mem     freq.MHz
+	Actual  []freq.MHz
+	Clamped []freq.MHz // claimed minus actual
+	Default bool       // whether this row's ladder holds the default config
+}
+
+// Fig4 reproduces Fig. 4: supported memory × core combinations of the
+// Titan X (a) and the Tesla P100 (b).
+func (s *Suite) Fig4() []Fig4Row {
+	var out []Fig4Row
+	for _, dev := range []*freq.Ladder{s.harness.Device().Sim().Ladder, freq.P100()} {
+		for _, m := range dev.MemClocks() {
+			actual := dev.CoreClocks(m)
+			actualSet := map[freq.MHz]bool{}
+			for _, c := range actual {
+				actualSet[c] = true
+			}
+			var clamped []freq.MHz
+			for _, c := range dev.ClaimedCoreClocks(m) {
+				if !actualSet[c] {
+					clamped = append(clamped, c)
+				}
+			}
+			out = append(out, Fig4Row{
+				Device:  dev.Name(),
+				Mem:     m,
+				Actual:  actual,
+				Clamped: clamped,
+				Default: dev.Default().Mem == m,
+			})
+		}
+	}
+	return out
+}
+
+// RenderFig4 prints the supported-combination map.
+func RenderFig4(w io.Writer, rows []Fig4Row) {
+	fmt.Fprintln(w, "Figure 4: supported combinations of memory and core frequencies")
+	last := ""
+	for _, r := range rows {
+		if r.Device != last {
+			fmt.Fprintf(w, "  %s\n", r.Device)
+			last = r.Device
+		}
+		def := ""
+		if r.Default {
+			def = "  (default memory clock)"
+		}
+		fmt.Fprintf(w, "    mem %4d MHz: %2d core clocks, %4d–%4d MHz%s\n",
+			r.Mem, len(r.Actual), r.Actual[0], r.Actual[len(r.Actual)-1], def)
+		if len(r.Clamped) > 0 {
+			fmt.Fprintf(w, "      + %d claimed-but-clamped: %d–%d MHz (applied as 1202 MHz)\n",
+				len(r.Clamped), r.Clamped[0], r.Clamped[len(r.Clamped)-1])
+		}
+	}
+}
+
+// Fig5Benchmarks are the eight selected applications of Fig. 5, in its
+// layout order (top row compute-dominated, bottom row memory-dominated).
+var Fig5Benchmarks = []string{
+	"k-NN", "AES", "MatrixMultiply", "Convolution",
+	"MedianFilter", "BitCompression", "MT", "Blackscholes",
+}
+
+// Fig5 reproduces Fig. 5: the speedup/normalized-energy scatter of the
+// eight selected benchmarks over all frequency configurations.
+func (s *Suite) Fig5() ([]Fig1Data, error) {
+	var out []Fig1Data
+	for _, name := range Fig5Benchmarks {
+		rels, err := s.Sweep(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, groupByMem(name, rels))
+	}
+	return out, nil
+}
+
+// RenderFig5 prints a per-benchmark summary of the scatter: the objective
+// ranges per memory clock plus the full point list.
+func RenderFig5(w io.Writer, data []Fig1Data) {
+	fmt.Fprintln(w, "Figure 5: speedup and normalized energy for eight selected benchmarks")
+	for _, d := range data {
+		fmt.Fprintf(w, "  %s\n", d.Benchmark)
+		for _, ser := range d.Series {
+			minS, maxS := ser.Points[0].Speedup, ser.Points[0].Speedup
+			minE, maxE := ser.Points[0].NormEnergy, ser.Points[0].NormEnergy
+			for _, p := range ser.Points {
+				if p.Speedup < minS {
+					minS = p.Speedup
+				}
+				if p.Speedup > maxS {
+					maxS = p.Speedup
+				}
+				if p.NormEnergy < minE {
+					minE = p.NormEnergy
+				}
+				if p.NormEnergy > maxE {
+					maxE = p.NormEnergy
+				}
+			}
+			fmt.Fprintf(w, "    %-6s: %2d cfgs, speedup [%5.2f, %5.2f], energy [%5.2f, %5.2f]\n",
+				freq.MemLabel(ser.Mem), len(ser.Points), minS, maxS, minE, maxE)
+		}
+	}
+}

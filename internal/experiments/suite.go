@@ -1,0 +1,112 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4): the motivational frequency sweeps (Fig. 1), the
+// supported-configuration maps (Fig. 4), the application characterization
+// scatter (Fig. 5), the per-memory-frequency prediction-error analyses for
+// speedup (Fig. 6) and normalized energy (Fig. 7), the predicted-vs-real
+// Pareto fronts (Fig. 8), and the coverage-difference table (Table 2).
+//
+// Each experiment returns structured rows/series and has a Render function
+// that prints the same content as an aligned text report, so the cmd
+// binaries and the root benchmarks share one implementation.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/measure"
+	"repro/internal/nvml"
+	"repro/internal/synth"
+)
+
+// Suite owns the simulated device, harness, and lazily trained models that
+// the experiments share.
+type Suite struct {
+	harness *measure.Harness
+	opts    core.Options
+
+	trainOnce sync.Once
+	models    *core.Models
+	trainErr  error
+
+	sweepMu sync.Mutex
+	sweeps  map[string][]measure.Relative
+}
+
+// NewSuite builds a suite on a fresh simulated Titan X with the paper's
+// training options.
+func NewSuite() *Suite {
+	return NewSuiteWithOptions(core.Options{})
+}
+
+// NewSuiteWithOptions builds a suite with custom training options (used by
+// the ablation benchmarks and fast tests).
+func NewSuiteWithOptions(opts core.Options) *Suite {
+	return &Suite{
+		harness: measure.NewHarness(nvml.NewDevice(gpu.TitanX())),
+		opts:    opts,
+		sweeps:  map[string][]measure.Relative{},
+	}
+}
+
+// Harness exposes the measurement harness.
+func (s *Suite) Harness() *measure.Harness { return s.harness }
+
+// TrainingKernels adapts the 106 synthetic micro-benchmarks.
+func TrainingKernels() []core.TrainingKernel {
+	bs := synth.Generate()
+	out := make([]core.TrainingKernel, len(bs))
+	for i := range bs {
+		out[i] = core.TrainingKernel{
+			Name:     bs[i].Name,
+			Features: bs[i].Features(),
+			Profile:  bs[i].Profile(),
+		}
+	}
+	return out
+}
+
+// Models trains (once) the speedup and energy models on the full synthetic
+// training set.
+func (s *Suite) Models() (*core.Models, error) {
+	s.trainOnce.Do(func() {
+		samples, err := core.BuildTrainingSet(s.harness, TrainingKernels(), s.opts)
+		if err != nil {
+			s.trainErr = fmt.Errorf("experiments: building training set: %w", err)
+			return
+		}
+		s.models, s.trainErr = core.Train(samples, s.opts)
+	})
+	return s.models, s.trainErr
+}
+
+// Predictor returns a predictor over the suite's device ladder.
+func (s *Suite) Predictor() (*core.Predictor, error) {
+	m, err := s.Models()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewPredictor(m, s.harness.Device().Sim().Ladder), nil
+}
+
+// Sweep measures (once) the full configuration sweep of a test benchmark.
+func (s *Suite) Sweep(name string) ([]measure.Relative, error) {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	if rels, ok := s.sweeps[name]; ok {
+		return rels, nil
+	}
+	b, err := bench.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	rels, err := s.harness.Sweep(b.Profile())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: sweeping %s: %w", name, err)
+	}
+	s.sweeps[name] = rels
+	return rels, nil
+}

@@ -1,0 +1,420 @@
+// Package freq models the multi-domain frequency configuration space of a
+// DVFS-capable GPU: the discrete ladders of memory and core (graphics)
+// clocks, which core clocks are actually tunable for each memory clock, the
+// default configuration used as the baseline for speedup and normalized
+// energy, and the linear [0,1] normalization used to turn a configuration
+// into model features.
+//
+// The tables mirror the NVIDIA GTX Titan X (Maxwell) and Tesla P100 setups
+// described in Section 4.1 of Fan, Cosenza, Juurlink, "Predictable GPUs
+// Frequency Scaling for Energy and Performance" (ICPP 2019): four memory
+// clocks on the Titan X (405, 810, 3304, 3505 MHz, labeled L, l, h, H), a
+// single memory clock on the P100, and per-memory core-clock lists with very
+// different cardinalities (6 / 71 / 50 / 50). Core clocks requested above
+// 1202 MHz are accepted by the management API but silently clamped, which
+// this package reproduces (see Ladder.Clamp and Claimed).
+package freq
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MHz is a clock frequency in megahertz. Clock ladders are discrete, so an
+// integer representation is exact.
+type MHz int
+
+// Config is one (memory clock, core clock) frequency configuration.
+type Config struct {
+	Mem  MHz `json:"mem"`
+	Core MHz `json:"core"`
+}
+
+// String renders the configuration as "mem@core", e.g. "3505@1001".
+func (c Config) String() string { return fmt.Sprintf("%d@%d", c.Mem, c.Core) }
+
+// MemLabel names the Titan X memory clocks as in the paper: H, h, l, L.
+// Unknown clocks map to their numeric value.
+func MemLabel(m MHz) string {
+	switch m {
+	case MemH:
+		return "Mem-H"
+	case Memh:
+		return "Mem-h"
+	case Meml:
+		return "Mem-l"
+	case MemL:
+		return "Mem-L"
+	}
+	return fmt.Sprintf("Mem-%d", m)
+}
+
+// Titan X memory clocks (MHz), labeled as in the paper.
+const (
+	MemL MHz = 405  // lowest memory clock: only 6 core clocks supported
+	Meml MHz = 810  // low memory clock: 71 core clocks
+	Memh MHz = 3304 // high memory clock: 50 core clocks
+	MemH MHz = 3505 // highest (default) memory clock: 50 core clocks
+)
+
+// Core-domain landmarks (MHz) used by the paper.
+const (
+	CoreMin     MHz = 135  // lowest core clock in any ladder
+	CoreNormMax MHz = 1189 // top of the paper's [135, 1189] normalization interval
+	CoreClamp   MHz = 1202 // highest core clock the hardware actually applies
+	CoreMax     MHz = 1392 // highest core clock NVML claims to support
+	CoreDefault MHz = 1001 // Titan X default core clock (auto-boost disabled)
+)
+
+// NormBounds is the linear normalization interval for one frequency domain.
+type NormBounds struct {
+	Lo, Hi MHz
+}
+
+// Normalize maps f linearly into [0,1] over the bounds, without clamping:
+// values outside the interval extrapolate, mirroring the paper's plain
+// linear mapping.
+func (b NormBounds) Normalize(f MHz) float64 {
+	return float64(f-b.Lo) / float64(b.Hi-b.Lo)
+}
+
+// Paper normalization intervals: core [135, 1189], memory [405, 3505].
+var (
+	CoreBounds = NormBounds{Lo: CoreMin, Hi: CoreNormMax}
+	MemBounds  = NormBounds{Lo: MemL, Hi: MemH}
+)
+
+// Normalized returns the (coreNorm, memNorm) feature pair of a configuration
+// using the paper's normalization intervals.
+func (c Config) Normalized() (core, mem float64) {
+	return CoreBounds.Normalize(c.Core), MemBounds.Normalize(c.Mem)
+}
+
+// Ladder is the set of frequency configurations supported by one device:
+// for each memory clock, the list of core clocks that can actually be
+// applied, plus the list the management library claims to support (a
+// superset on the Titan X: requests above the clamp are accepted but
+// silently applied as the clamp frequency).
+type Ladder struct {
+	name    string
+	mems    []MHz           // descending (H first), matching NVML order
+	actual  map[MHz][]MHz   // memory clock -> ascending core clocks actually applied
+	claimed map[MHz][]MHz   // memory clock -> ascending core clocks claimed by NVML
+	def     Config          // default configuration (auto-boost disabled)
+	clamp   MHz             // requests above this are applied as this (0: none)
+	clamped map[MHz]bool    // memory clocks subject to the clamp quirk
+	index   map[Config]bool // actual membership
+}
+
+// Name reports the device name the ladder describes.
+func (l *Ladder) Name() string { return l.name }
+
+// Default returns the default (baseline) configuration.
+func (l *Ladder) Default() Config { return l.def }
+
+// MemClocks returns the supported memory clocks in NVML order (descending).
+func (l *Ladder) MemClocks() []MHz { return append([]MHz(nil), l.mems...) }
+
+// CoreClocks returns the core clocks actually applied for the given memory
+// clock, ascending. The returned slice is a copy.
+func (l *Ladder) CoreClocks(mem MHz) []MHz {
+	return append([]MHz(nil), l.actual[mem]...)
+}
+
+// ClaimedCoreClocks returns the core clocks the management library claims to
+// support for the given memory clock, ascending. On the Titan X this is a
+// superset of CoreClocks for mem-l/h/H: entries above 1202 MHz are claimed
+// but clamp to 1202 MHz when applied.
+func (l *Ladder) ClaimedCoreClocks(mem MHz) []MHz {
+	return append([]MHz(nil), l.claimed[mem]...)
+}
+
+// Supported reports whether the configuration can actually be applied
+// (i.e. setting it results in exactly those clocks).
+func (l *Ladder) Supported(c Config) bool { return l.index[c] }
+
+// Clamp maps a requested configuration to the configuration the hardware
+// actually applies, reproducing the Titan X quirk: for clamped memory
+// clocks, core requests above the clamp frequency are applied as the clamp
+// frequency. Requests for unknown clocks are returned unchanged; use
+// Supported to validate.
+func (l *Ladder) Clamp(c Config) Config {
+	if l.clamp != 0 && l.clamped[c.Mem] && c.Core > l.clamp {
+		c.Core = l.clamp
+	}
+	return c
+}
+
+// Configs returns every actually-applicable configuration, ordered by
+// descending memory clock then ascending core clock.
+func (l *Ladder) Configs() []Config {
+	var out []Config
+	for _, m := range l.mems {
+		for _, c := range l.actual[m] {
+			out = append(out, Config{Mem: m, Core: c})
+		}
+	}
+	return out
+}
+
+// NumConfigs returns the number of actually-applicable configurations.
+func (l *Ladder) NumConfigs() int {
+	n := 0
+	for _, cs := range l.actual {
+		n += len(cs)
+	}
+	return n
+}
+
+// NearestCore snaps a core frequency to the closest actually-supported core
+// clock for the given memory clock. It panics if the memory clock is not in
+// the ladder (programming error: memory clocks are a tiny fixed set).
+func (l *Ladder) NearestCore(mem MHz, core MHz) MHz {
+	cs := l.actual[mem]
+	if len(cs) == 0 {
+		panic(fmt.Sprintf("freq: memory clock %d MHz not in ladder %s", mem, l.name))
+	}
+	i := sort.Search(len(cs), func(i int) bool { return cs[i] >= core })
+	if i == 0 {
+		return cs[0]
+	}
+	if i == len(cs) {
+		return cs[len(cs)-1]
+	}
+	if cs[i]-core < core-cs[i-1] {
+		return cs[i]
+	}
+	return cs[i-1]
+}
+
+// ascending returns n evenly spaced MHz values from lo to hi inclusive.
+func ascending(lo, hi MHz, n int) []MHz {
+	if n == 1 {
+		return []MHz{lo}
+	}
+	out := make([]MHz, n)
+	span := float64(hi - lo)
+	for i := 0; i < n; i++ {
+		out[i] = lo + MHz(span*float64(i)/float64(n-1)+0.5)
+	}
+	out[n-1] = hi
+	return out
+}
+
+// snap replaces, for each anchor within the slice's range, the nearest
+// element by the anchor, preserving ascending order and uniqueness. It is
+// used to force paper-named clocks (1001, 1189, ...) onto the synthetic
+// evenly-spaced ladder.
+func snap(vals []MHz, anchors ...MHz) []MHz {
+	for _, a := range anchors {
+		if len(vals) == 0 || a < vals[0] || a > vals[len(vals)-1] {
+			continue
+		}
+		best, bd := -1, MHz(1<<30)
+		for i, v := range vals {
+			d := v - a
+			if d < 0 {
+				d = -d
+			}
+			if d < bd {
+				best, bd = i, d
+			}
+		}
+		vals[best] = a
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	// Dedupe in place (snapping two neighbours onto one anchor is possible
+	// only with pathological anchor sets; keep the ladder well-formed anyway).
+	out := vals[:0]
+	var prev MHz = -1
+	for _, v := range vals {
+		if v != prev {
+			out = append(out, v)
+		}
+		prev = v
+	}
+	return out
+}
+
+// TitanX builds the GTX Titan X (Maxwell) ladder used throughout the paper:
+//
+//	mem-L  405 MHz:  6 core clocks, 135–405 MHz (no clamp quirk: NVML claims
+//	                 exactly what it applies)
+//	mem-l  810 MHz: 71 core clocks, 135–1202 MHz
+//	mem-h 3304 MHz: 50 core clocks, 595–1202 MHz
+//	mem-H 3505 MHz: 50 core clocks, 595–1202 MHz
+//
+// plus, for mem-l/h/H, claimed-but-clamped core clocks up to 1392 MHz.
+// Default configuration: 3505 MHz memory, 1001 MHz core.
+func TitanX() *Ladder {
+	l := &Ladder{
+		name:    "NVIDIA GTX Titan X (Maxwell, simulated)",
+		mems:    []MHz{MemH, Memh, Meml, MemL},
+		actual:  map[MHz][]MHz{},
+		claimed: map[MHz][]MHz{},
+		def:     Config{Mem: MemH, Core: CoreDefault},
+		clamp:   CoreClamp,
+		clamped: map[MHz]bool{Meml: true, Memh: true, MemH: true},
+	}
+
+	// Gray region: claimed core clocks above the clamp, shared by mem-l/h/H.
+	gray := ascending(1217, CoreMax, 13)
+
+	memLCores := ascending(CoreMin, 405, 6)
+	memlCores := snap(ascending(CoreMin, CoreClamp, 71), CoreDefault, CoreNormMax)
+	hiCores := snap(ascending(595, CoreClamp, 50), 885, 987, CoreDefault, CoreNormMax)
+
+	l.actual[MemL] = memLCores
+	l.actual[Meml] = memlCores
+	l.actual[Memh] = append([]MHz(nil), hiCores...)
+	l.actual[MemH] = append([]MHz(nil), hiCores...)
+
+	l.claimed[MemL] = append([]MHz(nil), memLCores...)
+	l.claimed[Meml] = append(append([]MHz(nil), memlCores...), gray...)
+	l.claimed[Memh] = append(append([]MHz(nil), hiCores...), gray...)
+	l.claimed[MemH] = append(append([]MHz(nil), hiCores...), gray...)
+
+	l.buildIndex()
+	return l
+}
+
+// P100 builds the Tesla P100 ladder: a single 715 MHz memory clock with a
+// fine-grained core ladder from 544 to 1328 MHz (Fig. 4b). The P100 has no
+// clamp quirk in the modeled range.
+func P100() *Ladder {
+	l := &Ladder{
+		name:    "NVIDIA Tesla P100 (Pascal, simulated)",
+		mems:    []MHz{715},
+		actual:  map[MHz][]MHz{},
+		claimed: map[MHz][]MHz{},
+		def:     Config{Mem: 715, Core: 1328},
+		clamp:   0,
+		clamped: map[MHz]bool{},
+	}
+	cores := ascending(544, 1328, 60)
+	l.actual[715] = cores
+	l.claimed[715] = append([]MHz(nil), cores...)
+	l.buildIndex()
+	return l
+}
+
+func (l *Ladder) buildIndex() {
+	l.index = make(map[Config]bool)
+	for _, m := range l.mems {
+		for _, c := range l.actual[m] {
+			l.index[Config{Mem: m, Core: c}] = true
+		}
+	}
+	if !l.index[l.def] {
+		panic(fmt.Sprintf("freq: default configuration %v not in ladder %s", l.def, l.name))
+	}
+}
+
+// TrainingSample returns the paper's "40 carefully sampled frequency
+// settings": an even spread over each memory clock's core ladder,
+// proportional to ladder size, always including each ladder's extremes and
+// the default configuration. n is the total number of settings (the paper
+// uses 40); if n exceeds the number of actual configurations every
+// configuration is returned.
+func (l *Ladder) TrainingSample(n int) []Config {
+	total := l.NumConfigs()
+	if n >= total {
+		return l.Configs()
+	}
+	if n < len(l.mems)*2 {
+		n = len(l.mems) * 2 // at least both extremes of every ladder
+	}
+	var out []Config
+	remaining := n
+	memsLeft := len(l.mems)
+	for _, m := range l.mems {
+		cs := l.actual[m]
+		// Proportional share, at least 2, never more than the ladder holds.
+		share := remaining * len(cs) / maxInt(1, totalFrom(l, memsLeft))
+		if share < 2 {
+			share = 2
+		}
+		if share > len(cs) {
+			share = len(cs)
+		}
+		if memsLeft == 1 {
+			share = minInt(remaining, len(cs))
+		}
+		out = append(out, spread(m, cs, share)...)
+		remaining -= share
+		memsLeft--
+	}
+	// Force-include the default configuration.
+	found := false
+	for _, c := range out {
+		if c == l.def {
+			found = true
+			break
+		}
+	}
+	if !found {
+		out = append(out, l.def)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mem != out[j].Mem {
+			return out[i].Mem > out[j].Mem
+		}
+		return out[i].Core < out[j].Core
+	})
+	return out
+}
+
+// totalFrom counts configurations in the last k memory ladders (NVML order).
+func totalFrom(l *Ladder, k int) int {
+	n := 0
+	for i := len(l.mems) - k; i < len(l.mems); i++ {
+		if i < 0 {
+			continue
+		}
+		n += len(l.actual[l.mems[i]])
+	}
+	return n
+}
+
+// spread picks k core clocks evenly from cs (which is ascending), always
+// including both extremes, and returns them as configs at memory clock m.
+func spread(m MHz, cs []MHz, k int) []Config {
+	if k <= 0 {
+		return nil
+	}
+	if k == 1 {
+		return []Config{{Mem: m, Core: cs[len(cs)-1]}}
+	}
+	if k >= len(cs) {
+		out := make([]Config, len(cs))
+		for i, c := range cs {
+			out[i] = Config{Mem: m, Core: c}
+		}
+		return out
+	}
+	out := make([]Config, 0, k)
+	seen := map[MHz]bool{}
+	for i := 0; i < k; i++ {
+		idx := i * (len(cs) - 1) / (k - 1)
+		c := cs[idx]
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, Config{Mem: m, Core: c})
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,348 @@
+package freq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTitanXMemClocks(t *testing.T) {
+	l := TitanX()
+	mems := l.MemClocks()
+	want := []MHz{3505, 3304, 810, 405}
+	if len(mems) != len(want) {
+		t.Fatalf("MemClocks() = %v, want %v", mems, want)
+	}
+	for i := range want {
+		if mems[i] != want[i] {
+			t.Errorf("MemClocks()[%d] = %d, want %d", i, mems[i], want[i])
+		}
+	}
+}
+
+func TestTitanXCoreCounts(t *testing.T) {
+	l := TitanX()
+	// Paper, Section 4.1: mem-L supports 6 core clocks, mem-l 71, mem-h and
+	// mem-H 50 each.
+	cases := []struct {
+		mem  MHz
+		want int
+	}{
+		{MemL, 6},
+		{Meml, 71},
+		{Memh, 50},
+		{MemH, 50},
+	}
+	for _, c := range cases {
+		if got := len(l.CoreClocks(c.mem)); got != c.want {
+			t.Errorf("len(CoreClocks(%d)) = %d, want %d", c.mem, got, c.want)
+		}
+	}
+	if got := l.NumConfigs(); got != 177 {
+		t.Errorf("NumConfigs() = %d, want 177", got)
+	}
+}
+
+func TestTitanXAnchors(t *testing.T) {
+	l := TitanX()
+	// Paper-named clocks must exist on the high-memory ladders.
+	for _, mem := range []MHz{MemH, Memh} {
+		for _, core := range []MHz{885, 987, 1001, 1189, 1202} {
+			if !l.Supported(Config{Mem: mem, Core: core}) {
+				t.Errorf("config %d@%d not supported", mem, core)
+			}
+		}
+	}
+	if !l.Supported(l.Default()) {
+		t.Errorf("default config %v not supported", l.Default())
+	}
+	if l.Default() != (Config{Mem: 3505, Core: 1001}) {
+		t.Errorf("Default() = %v, want 3505@1001", l.Default())
+	}
+}
+
+func TestTitanXMemLRange(t *testing.T) {
+	l := TitanX()
+	cs := l.CoreClocks(MemL)
+	if cs[0] != 135 || cs[len(cs)-1] != 405 {
+		t.Errorf("mem-L core range = [%d, %d], want [135, 405]", cs[0], cs[len(cs)-1])
+	}
+}
+
+func TestClampQuirk(t *testing.T) {
+	l := TitanX()
+	// Setting a core clock above 1202 MHz for mem-l/h/H actually sets 1202.
+	for _, mem := range []MHz{Meml, Memh, MemH} {
+		got := l.Clamp(Config{Mem: mem, Core: 1392})
+		if got.Core != 1202 {
+			t.Errorf("Clamp(%d@1392).Core = %d, want 1202", mem, got.Core)
+		}
+	}
+	// mem-L has no clamp quirk (no claimed clocks above its range).
+	got := l.Clamp(Config{Mem: MemL, Core: 405})
+	if got.Core != 405 {
+		t.Errorf("Clamp(405@405).Core = %d, want 405", got.Core)
+	}
+	// Below the clamp, configurations pass through unchanged.
+	c := Config{Mem: MemH, Core: 1001}
+	if l.Clamp(c) != c {
+		t.Errorf("Clamp(%v) = %v, want unchanged", c, l.Clamp(c))
+	}
+}
+
+func TestClampIdempotent(t *testing.T) {
+	l := TitanX()
+	f := func(memIdx uint8, core uint16) bool {
+		mems := l.MemClocks()
+		m := mems[int(memIdx)%len(mems)]
+		c := Config{Mem: m, Core: MHz(core)}
+		once := l.Clamp(c)
+		twice := l.Clamp(once)
+		return once == twice
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClaimedSuperset(t *testing.T) {
+	l := TitanX()
+	for _, m := range l.MemClocks() {
+		actual := l.CoreClocks(m)
+		claimed := l.ClaimedCoreClocks(m)
+		if len(claimed) < len(actual) {
+			t.Errorf("mem %d: claimed %d < actual %d", m, len(claimed), len(actual))
+		}
+		set := map[MHz]bool{}
+		for _, c := range claimed {
+			set[c] = true
+		}
+		for _, c := range actual {
+			if !set[c] {
+				t.Errorf("mem %d: actual core %d missing from claimed list", m, c)
+			}
+		}
+	}
+	// Gray points exist only above the clamp.
+	for _, m := range []MHz{Meml, Memh, MemH} {
+		actual := map[MHz]bool{}
+		for _, c := range l.CoreClocks(m) {
+			actual[c] = true
+		}
+		grays := 0
+		for _, c := range l.ClaimedCoreClocks(m) {
+			if !actual[c] {
+				grays++
+				if c <= CoreClamp {
+					t.Errorf("mem %d: gray core %d at or below clamp", m, c)
+				}
+			}
+		}
+		if grays == 0 {
+			t.Errorf("mem %d: expected claimed-but-clamped gray clocks", m)
+		}
+	}
+}
+
+func TestLaddersSortedUnique(t *testing.T) {
+	for _, l := range []*Ladder{TitanX(), P100()} {
+		for _, m := range l.MemClocks() {
+			for _, cs := range [][]MHz{l.CoreClocks(m), l.ClaimedCoreClocks(m)} {
+				for i := 1; i < len(cs); i++ {
+					if cs[i] <= cs[i-1] {
+						t.Errorf("%s mem %d: core list not strictly ascending at %d: %d <= %d",
+							l.Name(), m, i, cs[i], cs[i-1])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	if got := CoreBounds.Normalize(135); got != 0 {
+		t.Errorf("Normalize(135) = %v, want 0", got)
+	}
+	if got := CoreBounds.Normalize(1189); got != 1 {
+		t.Errorf("Normalize(1189) = %v, want 1", got)
+	}
+	if got := MemBounds.Normalize(405); got != 0 {
+		t.Errorf("Normalize(405) = %v, want 0", got)
+	}
+	if got := MemBounds.Normalize(3505); got != 1 {
+		t.Errorf("Normalize(3505) = %v, want 1", got)
+	}
+	core, mem := (Config{Mem: 3505, Core: 1189}).Normalized()
+	if core != 1 || mem != 1 {
+		t.Errorf("Normalized() = (%v, %v), want (1, 1)", core, mem)
+	}
+	// The clamp clock 1202 extrapolates slightly above 1.
+	if got := CoreBounds.Normalize(1202); got <= 1 || got > 1.05 {
+		t.Errorf("Normalize(1202) = %v, want slightly above 1", got)
+	}
+}
+
+func TestNormalizeMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		fa, fb := MHz(a), MHz(b)
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		return CoreBounds.Normalize(fa) <= CoreBounds.Normalize(fb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigsOrderAndCount(t *testing.T) {
+	l := TitanX()
+	cfgs := l.Configs()
+	if len(cfgs) != l.NumConfigs() {
+		t.Fatalf("len(Configs()) = %d, want %d", len(cfgs), l.NumConfigs())
+	}
+	for i := 1; i < len(cfgs); i++ {
+		a, b := cfgs[i-1], cfgs[i]
+		if a.Mem == b.Mem && a.Core >= b.Core {
+			t.Errorf("Configs() not ascending in core at %d: %v then %v", i, a, b)
+		}
+		if a.Mem < b.Mem {
+			t.Errorf("Configs() not descending in mem at %d: %v then %v", i, a, b)
+		}
+	}
+	for _, c := range cfgs {
+		if !l.Supported(c) {
+			t.Errorf("Configs() returned unsupported %v", c)
+		}
+	}
+}
+
+func TestTrainingSample(t *testing.T) {
+	l := TitanX()
+	s := l.TrainingSample(40)
+	if len(s) < 38 || len(s) > 42 {
+		t.Fatalf("len(TrainingSample(40)) = %d, want ~40", len(s))
+	}
+	// Must cover every memory clock and include the default configuration.
+	mems := map[MHz]int{}
+	hasDefault := false
+	seen := map[Config]bool{}
+	for _, c := range s {
+		if !l.Supported(c) {
+			t.Errorf("sample contains unsupported config %v", c)
+		}
+		if seen[c] {
+			t.Errorf("sample contains duplicate config %v", c)
+		}
+		seen[c] = true
+		mems[c.Mem]++
+		if c == l.Default() {
+			hasDefault = true
+		}
+	}
+	for _, m := range l.MemClocks() {
+		if mems[m] < 2 {
+			t.Errorf("sample has %d configs at mem %d, want >= 2", mems[m], m)
+		}
+	}
+	if !hasDefault {
+		t.Error("sample does not include the default configuration")
+	}
+	// Extremes of each ladder are included.
+	for _, m := range l.MemClocks() {
+		cs := l.CoreClocks(m)
+		lo := Config{Mem: m, Core: cs[0]}
+		hi := Config{Mem: m, Core: cs[len(cs)-1]}
+		if !seen[lo] || !seen[hi] {
+			t.Errorf("sample misses ladder extreme for mem %d (lo present=%v hi present=%v)",
+				m, seen[lo], seen[hi])
+		}
+	}
+}
+
+func TestTrainingSampleAllWhenLarge(t *testing.T) {
+	l := TitanX()
+	s := l.TrainingSample(10_000)
+	if len(s) != l.NumConfigs() {
+		t.Errorf("TrainingSample(10000) returned %d configs, want all %d", len(s), l.NumConfigs())
+	}
+}
+
+func TestNearestCore(t *testing.T) {
+	l := TitanX()
+	cases := []struct {
+		mem  MHz
+		in   MHz
+		want MHz
+	}{
+		{MemH, 1001, 1001},
+		{MemH, 100, 595},
+		{MemH, 5000, 1202},
+		{MemL, 500, 405},
+		{MemL, 10, 135},
+	}
+	for _, c := range cases {
+		if got := l.NearestCore(c.mem, c.in); got != c.want {
+			t.Errorf("NearestCore(%d, %d) = %d, want %d", c.mem, c.in, got, c.want)
+		}
+	}
+}
+
+func TestNearestCoreIsNearest(t *testing.T) {
+	l := TitanX()
+	f := func(memIdx uint8, core uint16) bool {
+		mems := l.MemClocks()
+		m := mems[int(memIdx)%len(mems)]
+		got := l.NearestCore(m, MHz(core))
+		gd := math.Abs(float64(got) - float64(core))
+		for _, c := range l.CoreClocks(m) {
+			if math.Abs(float64(c)-float64(core)) < gd {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestP100(t *testing.T) {
+	l := P100()
+	mems := l.MemClocks()
+	if len(mems) != 1 || mems[0] != 715 {
+		t.Fatalf("P100 MemClocks() = %v, want [715]", mems)
+	}
+	cs := l.CoreClocks(715)
+	if len(cs) != 60 {
+		t.Errorf("P100 core count = %d, want 60", len(cs))
+	}
+	if cs[0] != 544 || cs[len(cs)-1] != 1328 {
+		t.Errorf("P100 core range = [%d, %d], want [544, 1328]", cs[0], cs[len(cs)-1])
+	}
+	if !l.Supported(l.Default()) {
+		t.Errorf("P100 default %v unsupported", l.Default())
+	}
+}
+
+func TestMemLabel(t *testing.T) {
+	cases := map[MHz]string{
+		3505: "Mem-H",
+		3304: "Mem-h",
+		810:  "Mem-l",
+		405:  "Mem-L",
+		715:  "Mem-715",
+	}
+	for m, want := range cases {
+		if got := MemLabel(m); got != want {
+			t.Errorf("MemLabel(%d) = %q, want %q", m, got, want)
+		}
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := Config{Mem: 3505, Core: 1001}
+	if got := c.String(); got != "3505@1001" {
+		t.Errorf("String() = %q, want %q", got, "3505@1001")
+	}
+}

@@ -1,0 +1,30 @@
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/clkernel"
+)
+
+// ProfileFromSource parses OpenCL source and derives a kernel execution
+// profile from the weighted instruction counts of the named kernel (empty =
+// first kernel). Memory-behaviour fields keep their defaults (fully
+// coalesced, no cache reuse); callers can adjust them on the result.
+func ProfileFromSource(src, kernelName string, workItems int) (KernelProfile, error) {
+	prog, err := clkernel.Parse(src)
+	if err != nil {
+		return KernelProfile{}, err
+	}
+	k := prog.Kernels[0]
+	if kernelName != "" {
+		k = prog.Kernel(kernelName)
+		if k == nil {
+			return KernelProfile{}, fmt.Errorf("gpu: kernel %q not found", kernelName)
+		}
+	}
+	return KernelProfile{
+		Name:      k.Name,
+		Counts:    clkernel.Count(k, prog, clkernel.Weighted),
+		WorkItems: workItems,
+	}, nil
+}

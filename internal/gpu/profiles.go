@@ -1,0 +1,122 @@
+package gpu
+
+import (
+	"repro/internal/clkernel"
+	"repro/internal/freq"
+)
+
+// maxwellThroughput returns per-SM per-cycle issue throughput for a
+// Maxwell-class SM (GM200): 128 CUDA cores, 32 SFUs, 32 LSUs per SM.
+func maxwellThroughput() [clkernel.NumOpClasses]float64 {
+	var t [clkernel.NumOpClasses]float64
+	t[clkernel.OpIntAdd] = 128
+	t[clkernel.OpIntMul] = 32 // XMAD-emulated 32-bit multiply
+	t[clkernel.OpIntDiv] = 6  // long emulation sequence
+	t[clkernel.OpIntBitwise] = 128
+	t[clkernel.OpFloatAdd] = 128
+	t[clkernel.OpFloatMul] = 128
+	t[clkernel.OpFloatDiv] = 16
+	t[clkernel.OpSpecial] = 32
+	t[clkernel.OpGlobalAccess] = 32 // LSU issue slots
+	t[clkernel.OpLocalAccess] = 32
+	t[clkernel.OpOther] = 128
+	return t
+}
+
+// energyWeights returns the per-class relative energy per operation used by
+// the intensity factor. Division and transcendental operations are the most
+// expensive; control/other the cheapest.
+func energyWeights() [clkernel.NumOpClasses]float64 {
+	var w [clkernel.NumOpClasses]float64
+	w[clkernel.OpIntAdd] = 0.85
+	w[clkernel.OpIntMul] = 1.05
+	w[clkernel.OpIntDiv] = 1.30
+	w[clkernel.OpIntBitwise] = 0.75
+	w[clkernel.OpFloatAdd] = 1.00
+	w[clkernel.OpFloatMul] = 1.10
+	w[clkernel.OpFloatDiv] = 1.40
+	w[clkernel.OpSpecial] = 1.50
+	w[clkernel.OpGlobalAccess] = 1.20
+	w[clkernel.OpLocalAccess] = 0.90
+	w[clkernel.OpOther] = 0.60
+	return w
+}
+
+// TitanX builds the simulated GTX Titan X (Maxwell) device. Constants are
+// calibrated so that (a) compute-bound kernels speed up linearly with core
+// clock, (b) normalized energy over core clock is parabolic with its
+// minimum near the paper's [885, 987] MHz interval at the default memory
+// clock, and (c) the board draws on the order of its 250 W TDP at the
+// default configuration under full load.
+func TitanX() *Device {
+	return &Device{
+		Name:      "GTX Titan X (simulated)",
+		Ladder:    freq.TitanX(),
+		SMs:       24,
+		Occupancy: 0.75,
+
+		Throughput:   maxwellThroughput(),
+		EnergyWeight: energyWeights(),
+
+		// 384-bit GDDR5: 336 GB/s delivered at 3505 MHz (96 B per
+		// memory-clock cycle). Delivered bandwidth follows a sub-linear
+		// power law in the memory clock (exponent 0.545), matching the
+		// paper's observation that mem-l/mem-L retain ~45%/~31% of peak
+		// bandwidth rather than the linear 23%/12%.
+		GlobalBytesPerCycle: 96,
+		MemBWExp:            0.545,
+		LocalBytesPerCycle:  128,
+
+		VIdle: 0.65, VMin: 0.80, VMax: 1.084,
+		VIdleMHz: 135, VFloorMHz: 595, VMaxMHz: 1202,
+
+		ConstWatts:     15,
+		LeakPerVolt:    48,
+		CoreCapWatts:   85,
+		CoreIdleFrac:   0.22,
+		MemWattsPerGHz: 12.5,
+		MemIdleFrac:    0.30,
+
+		LaunchOverheadSec: 6e-6,
+		OverlapExp:        4,
+	}
+}
+
+// P100 builds the simulated Tesla P100 (Pascal) device: 56 SMs (64 cores
+// each; throughput numbers below are per-SM), HBM2 with a single 715 MHz
+// memory clock, and a fine-grained core ladder.
+func P100() *Device {
+	t := maxwellThroughput()
+	// Pascal GP100 SMs are half-width (64 cores) but there are many more.
+	for i := range t {
+		t[i] /= 2
+	}
+	t[clkernel.OpFloatAdd] = 64
+	t[clkernel.OpFloatMul] = 64
+	return &Device{
+		Name:      "Tesla P100 (simulated)",
+		Ladder:    freq.P100(),
+		SMs:       56,
+		Occupancy: 0.75,
+
+		Throughput:   t,
+		EnergyWeight: energyWeights(),
+
+		// HBM2: 732 GB/s at 715 MHz -> ~1024 B per memory-clock cycle.
+		GlobalBytesPerCycle: 1024,
+		LocalBytesPerCycle:  64,
+
+		VIdle: 0.70, VMin: 0.80, VMax: 1.10,
+		VIdleMHz: 544, VFloorMHz: 810, VMaxMHz: 1328,
+
+		ConstWatts:     35,
+		LeakPerVolt:    48,
+		CoreCapWatts:   140,
+		CoreIdleFrac:   0.22,
+		MemWattsPerGHz: 45, // HBM2 stack power per GHz
+		MemIdleFrac:    0.35,
+
+		LaunchOverheadSec: 5e-6,
+		OverlapExp:        4,
+	}
+}

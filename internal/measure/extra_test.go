@@ -1,0 +1,80 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/nvml"
+)
+
+func TestJitterDisabled(t *testing.T) {
+	h := NewHarness(nvml.NewDevice(gpu.TitanX()))
+	h.TimingJitter = 0
+	p := computeProfile()
+	m, err := h.Measure(p, h.Device().Sim().Ladder.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With jitter off, the measured kernel time must equal the model time
+	// exactly.
+	r, err := h.Device().Sim().Simulate(p, h.Device().Sim().Ladder.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.KernelSec-r.TimeSec) > 1e-15 {
+		t.Errorf("KernelSec = %v, model = %v; want exact with jitter off", m.KernelSec, r.TimeSec)
+	}
+}
+
+func TestMinRepsHonored(t *testing.T) {
+	h := NewHarness(nvml.NewDevice(gpu.TitanX()))
+	h.MinReps = 17
+	h.MinRunSec = 0 // force the rep floor to be the binding constraint
+	m, err := h.Measure(computeProfile(), h.Device().Sim().Ladder.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reps != 17 {
+		t.Errorf("Reps = %d, want 17", m.Reps)
+	}
+}
+
+func TestLongKernelFewReps(t *testing.T) {
+	// A kernel already longer than MinRunSec runs exactly MinReps times.
+	h := NewHarness(nvml.NewDevice(gpu.TitanX()))
+	p := computeProfile()
+	p.WorkItems = 1 << 28 // very long launch
+	m, err := h.Measure(p, h.Device().Sim().Ladder.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reps != h.MinReps {
+		t.Errorf("Reps = %d, want MinReps %d", m.Reps, h.MinReps)
+	}
+}
+
+func TestPowerSampleCap(t *testing.T) {
+	// Extremely long total runs cap the sample count instead of looping
+	// forever; the mean is converged long before the cap.
+	h := NewHarness(nvml.NewDevice(gpu.TitanX()))
+	h.MinRunSec = 1e6
+	m, err := h.Measure(computeProfile(), h.Device().Sim().Ladder.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PowerSamples > 100_000 {
+		t.Errorf("PowerSamples = %d, want capped at 100000", m.PowerSamples)
+	}
+	if m.AvgPowerW <= 0 {
+		t.Error("no power measured")
+	}
+}
+
+func TestInvalidBaselineRejected(t *testing.T) {
+	h := NewHarness(nvml.NewDevice(gpu.TitanX()))
+	_, err := h.MeasureRelative(computeProfile(), h.Device().Sim().Ladder.Default(), Measurement{})
+	if err == nil {
+		t.Error("zero baseline should be rejected")
+	}
+}

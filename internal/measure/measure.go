@@ -1,0 +1,202 @@
+// Package measure implements the paper's measurement procedure (Section
+// 4.1) on top of the simulated NVML device: set the application clocks,
+// execute the kernel repeatedly until the run is long enough for a
+// statistically consistent power value, sample board power at NVML's
+// 62.5 Hz, and compute per-kernel energy as average power times execution
+// time. Speedup and normalized energy are computed against the default
+// frequency configuration.
+//
+// Simulated wall-clock time advances virtually — a full exhaustive sweep
+// that takes 70 minutes on the real board (paper, Section 3.3) completes in
+// milliseconds — but the arithmetic (sample counts, averaging, quantization,
+// deterministic sensor noise) matches what the real harness would do.
+package measure
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/freq"
+	"repro/internal/gpu"
+	"repro/internal/nvml"
+)
+
+// Harness measures kernels on one simulated device.
+type Harness struct {
+	dev *nvml.Device
+	// MinRunSec is the minimum total run duration per configuration; the
+	// kernel is repeated until it is reached (paper: "executed multiple
+	// times, to make sure that the execution time is long enough").
+	MinRunSec float64
+	// MinReps is the minimum number of kernel repetitions.
+	MinReps int
+	// TimingJitter is the relative standard spread of the wall-clock
+	// timing noise (deterministic); 0 disables it.
+	TimingJitter float64
+}
+
+// NewHarness builds a harness with the defaults used throughout the
+// reproduction: at least 0.5 simulated seconds and 3 repetitions per
+// configuration, 0.4% timing jitter. It disables auto-boost, as the paper
+// does for all experiments.
+func NewHarness(dev *nvml.Device) *Harness {
+	dev.SetAutoBoostedClocksEnabled(false)
+	return &Harness{dev: dev, MinRunSec: 0.5, MinReps: 3, TimingJitter: 0.004}
+}
+
+// Device returns the underlying NVML device handle.
+func (h *Harness) Device() *nvml.Device { return h.dev }
+
+// Measurement is the outcome of measuring one kernel at one configuration.
+type Measurement struct {
+	// Config is the configuration actually applied (after clamping).
+	Config freq.Config
+	// KernelSec is the mean per-launch execution time in seconds.
+	KernelSec float64
+	// AvgPowerW is the mean sampled board power in watts.
+	AvgPowerW float64
+	// EnergyJ is the per-launch energy: AvgPowerW * KernelSec.
+	EnergyJ float64
+	// Reps is how many times the kernel was launched.
+	Reps int
+	// PowerSamples is how many 62.5 Hz sensor readings were averaged.
+	PowerSamples int
+}
+
+// Measure runs one kernel profile at the requested configuration.
+func (h *Harness) Measure(p gpu.KernelProfile, cfg freq.Config) (Measurement, error) {
+	if err := h.dev.DeviceSetApplicationsClocks(cfg.Mem, cfg.Core); err != nil {
+		return Measurement{}, err
+	}
+	applied := h.dev.DeviceGetApplicationsClocks()
+	r, err := h.dev.BeginWorkload(p)
+	if err != nil {
+		return Measurement{}, err
+	}
+	defer h.dev.EndWorkload()
+
+	reps := h.MinReps
+	if reps < 1 {
+		reps = 1
+	}
+	if r.TimeSec > 0 {
+		if need := int(math.Ceil(h.MinRunSec / r.TimeSec)); need > reps {
+			reps = need
+		}
+	}
+	totalSec := r.TimeSec * float64(reps)
+	// Deterministic wall-clock jitter per (kernel, config).
+	if h.TimingJitter > 0 {
+		totalSec *= 1 + h.TimingJitter*noise(p.Name, applied, 0)
+	}
+
+	// Sample power at 62.5 Hz across the whole run.
+	n := int(totalSec * nvml.PowerSampleHz)
+	if n < 1 {
+		n = 1
+	}
+	if n > 100_000 {
+		n = 100_000 // cap: beyond this the mean is fully converged
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(h.dev.DeviceGetPowerUsage()) / 1000
+	}
+	avgW := sum / float64(n)
+	kernelSec := totalSec / float64(reps)
+
+	return Measurement{
+		Config:       applied,
+		KernelSec:    kernelSec,
+		AvgPowerW:    avgW,
+		EnergyJ:      avgW * kernelSec,
+		Reps:         reps,
+		PowerSamples: n,
+	}, nil
+}
+
+// Relative is a measurement normalized against the default configuration:
+// Speedup = T_default/T (higher is better), NormEnergy = E/E_default (lower
+// is better) — the paper's two objectives.
+type Relative struct {
+	Config     freq.Config
+	Speedup    float64
+	NormEnergy float64
+	Raw        Measurement
+}
+
+// Baseline measures the kernel at the device's default configuration.
+func (h *Harness) Baseline(p gpu.KernelProfile) (Measurement, error) {
+	return h.Measure(p, h.dev.Sim().Ladder.Default())
+}
+
+// MeasureRelative measures one configuration and normalizes against the
+// provided baseline measurement.
+func (h *Harness) MeasureRelative(p gpu.KernelProfile, cfg freq.Config, base Measurement) (Relative, error) {
+	m, err := h.Measure(p, cfg)
+	if err != nil {
+		return Relative{}, err
+	}
+	if base.KernelSec <= 0 || base.EnergyJ <= 0 {
+		return Relative{}, fmt.Errorf("measure: invalid baseline %+v", base)
+	}
+	return Relative{
+		Config:     m.Config,
+		Speedup:    base.KernelSec / m.KernelSec,
+		NormEnergy: m.EnergyJ / base.EnergyJ,
+		Raw:        m,
+	}, nil
+}
+
+// Characterize measures the kernel at every given configuration, all
+// normalized against a freshly measured default baseline. Configurations
+// that clamp to the same applied clocks are measured once and reported once
+// (under the applied configuration).
+func (h *Harness) Characterize(p gpu.KernelProfile, cfgs []freq.Config) ([]Relative, error) {
+	base, err := h.Baseline(p)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[freq.Config]bool, len(cfgs))
+	out := make([]Relative, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		applied := h.dev.Sim().Ladder.Clamp(cfg)
+		if seen[applied] {
+			continue
+		}
+		seen[applied] = true
+		rel, err := h.MeasureRelative(p, applied, base)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rel)
+	}
+	return out, nil
+}
+
+// Sweep characterizes the kernel over every actually-supported
+// configuration of the device.
+func (h *Harness) Sweep(p gpu.KernelProfile) ([]Relative, error) {
+	return h.Characterize(p, h.dev.Sim().Ladder.Configs())
+}
+
+// noise derives a deterministic pseudo-random value in [-1, 1) from a
+// kernel name, configuration and index.
+func noise(name string, cfg freq.Config, idx uint64) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	var b [24]byte
+	put64(b[0:], uint64(cfg.Mem))
+	put64(b[8:], uint64(cfg.Core))
+	put64(b[16:], idx)
+	h.Write(b[:])
+	u := h.Sum64()
+	return float64(u%(1<<20))/float64(1<<19) - 1
+}
+
+func put64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,209 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/clkernel"
+	"repro/internal/freq"
+	"repro/internal/gpu"
+	"repro/internal/nvml"
+)
+
+func newHarness() *Harness {
+	return NewHarness(nvml.NewDevice(gpu.TitanX()))
+}
+
+func computeProfile() gpu.KernelProfile {
+	var c clkernel.Counts
+	c.Ops[clkernel.OpFloatAdd] = 2000
+	c.Ops[clkernel.OpFloatMul] = 2000
+	c.Ops[clkernel.OpGlobalAccess] = 2
+	c.GlobalBytes = 8
+	return gpu.KernelProfile{Name: "compute", Counts: c, WorkItems: 1 << 20}
+}
+
+func memoryProfile() gpu.KernelProfile {
+	var c clkernel.Counts
+	c.Ops[clkernel.OpGlobalAccess] = 64
+	c.Ops[clkernel.OpIntAdd] = 8
+	c.GlobalBytes = 256
+	return gpu.KernelProfile{Name: "memory", Counts: c, WorkItems: 1 << 20}
+}
+
+func TestMeasureBasics(t *testing.T) {
+	h := newHarness()
+	m, err := h.Measure(computeProfile(), freq.Config{Mem: 3505, Core: 1001})
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	if m.KernelSec <= 0 || m.AvgPowerW <= 0 || m.EnergyJ <= 0 {
+		t.Errorf("non-positive measurement: %+v", m)
+	}
+	if m.Reps < h.MinReps {
+		t.Errorf("Reps = %d, want >= %d", m.Reps, h.MinReps)
+	}
+	if float64(m.Reps)*m.KernelSec < h.MinRunSec*0.9 {
+		t.Errorf("total run %.3f s below MinRunSec %.3f", float64(m.Reps)*m.KernelSec, h.MinRunSec)
+	}
+	if m.PowerSamples < 10 {
+		t.Errorf("PowerSamples = %d, want a meaningful sample count", m.PowerSamples)
+	}
+	if math.Abs(m.EnergyJ-m.AvgPowerW*m.KernelSec) > 1e-9 {
+		t.Error("EnergyJ != AvgPowerW * KernelSec")
+	}
+}
+
+func TestMeasureDisablesAutoBoost(t *testing.T) {
+	d := nvml.NewDevice(gpu.TitanX())
+	NewHarness(d)
+	if d.AutoBoostedClocksEnabled() {
+		t.Error("harness did not disable auto-boost (paper disables dynamic scaling)")
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	run := func() Measurement {
+		h := newHarness()
+		m, err := h.Measure(computeProfile(), freq.Config{Mem: 3505, Core: 885})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("identical measurement runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSpeedupAtDefaultIsOne(t *testing.T) {
+	h := newHarness()
+	p := computeProfile()
+	base, err := h.Baseline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := h.MeasureRelative(p, h.Device().Sim().Ladder.Default(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rel.Speedup-1) > 0.02 {
+		t.Errorf("speedup at default = %.4f, want ~1", rel.Speedup)
+	}
+	if math.Abs(rel.NormEnergy-1) > 0.03 {
+		t.Errorf("normalized energy at default = %.4f, want ~1", rel.NormEnergy)
+	}
+}
+
+func TestMeasureClampedConfig(t *testing.T) {
+	h := newHarness()
+	m, err := h.Measure(computeProfile(), freq.Config{Mem: 3505, Core: 1392})
+	if err != nil {
+		t.Fatalf("Measure claimed config: %v", err)
+	}
+	if m.Config.Core != 1202 {
+		t.Errorf("applied core = %d, want clamped 1202", m.Config.Core)
+	}
+}
+
+func TestMeasureUnsupported(t *testing.T) {
+	h := newHarness()
+	if _, err := h.Measure(computeProfile(), freq.Config{Mem: 999, Core: 135}); err == nil {
+		t.Error("expected error for unsupported memory clock")
+	}
+}
+
+func TestCharacterizeSweep(t *testing.T) {
+	h := newHarness()
+	p := computeProfile()
+	rels, err := h.Sweep(p)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	ladder := h.Device().Sim().Ladder
+	if len(rels) != ladder.NumConfigs() {
+		t.Fatalf("sweep produced %d points, want %d", len(rels), ladder.NumConfigs())
+	}
+	// The sweep of a compute-bound kernel must show the paper's shape:
+	// highest speedup at the highest core clock, speedup < 1 at low ones.
+	var maxS, minS float64 = 0, math.Inf(1)
+	var maxAt freq.Config
+	for _, r := range rels {
+		if r.Speedup > maxS {
+			maxS, maxAt = r.Speedup, r.Config
+		}
+		minS = math.Min(minS, r.Speedup)
+	}
+	if maxAt.Core != 1202 {
+		t.Errorf("max speedup at %v, want core 1202", maxAt)
+	}
+	if maxS < 1.1 || maxS > 1.3 {
+		t.Errorf("max speedup = %.3f, want ~1.2 (1202/1001)", maxS)
+	}
+	if minS > 0.2 {
+		t.Errorf("min speedup = %.3f, want far below 1 at 135 MHz", minS)
+	}
+}
+
+func TestCharacterizeDedupesClamped(t *testing.T) {
+	h := newHarness()
+	cfgs := []freq.Config{
+		{Mem: 3505, Core: 1202},
+		{Mem: 3505, Core: 1392}, // clamps to the same applied config
+	}
+	rels, err := h.Characterize(computeProfile(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rels) != 1 {
+		t.Errorf("got %d measurements, want 1 after dedup", len(rels))
+	}
+}
+
+func TestMemoryBoundShape(t *testing.T) {
+	h := newHarness()
+	p := memoryProfile()
+	base, err := h.Baseline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core scaling barely helps a memory-bound kernel...
+	ladder := h.Device().Sim().Ladder
+	lo, err := h.MeasureRelative(p, freq.Config{Mem: 3505, Core: ladder.NearestCore(3505, 721)}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Speedup < 0.9 {
+		t.Errorf("memory-bound speedup at 721 MHz core = %.3f, want ~1", lo.Speedup)
+	}
+	// ...but dropping the memory clock hurts.
+	cores := h.Device().Sim().Ladder.CoreClocks(freq.Meml)
+	ml, err := h.MeasureRelative(p, freq.Config{Mem: freq.Meml, Core: cores[len(cores)-1]}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.Speedup > 0.6 {
+		t.Errorf("memory-bound speedup at mem-l = %.3f, want well below 1", ml.Speedup)
+	}
+}
+
+func TestBaselineConsistency(t *testing.T) {
+	// Energy = power x time must survive the relative normalization:
+	// NormEnergy/Speedup ratio equals (P_cfg/P_def) exactly.
+	h := newHarness()
+	p := computeProfile()
+	base, err := h.Baseline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := h.MeasureRelative(p, freq.Config{Mem: 3304, Core: 885}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhs := rel.NormEnergy * rel.Speedup
+	rhs := rel.Raw.AvgPowerW / base.AvgPowerW
+	if math.Abs(lhs-rhs) > 1e-9 {
+		t.Errorf("identity violated: normEnergy*speedup = %v, powerRatio = %v", lhs, rhs)
+	}
+}

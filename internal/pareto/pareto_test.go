@@ -1,0 +1,331 @@
+package pareto
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want bool
+	}{
+		{Point{Speedup: 1, Energy: 0.5}, Point{Speedup: 1, Energy: 0.6}, true},   // same s, less e
+		{Point{Speedup: 1.1, Energy: 0.5}, Point{Speedup: 1, Energy: 0.5}, true}, // more s, same e
+		{Point{Speedup: 1.1, Energy: 0.4}, Point{Speedup: 1, Energy: 0.5}, true}, // better both
+		{Point{Speedup: 1, Energy: 0.5}, Point{Speedup: 1, Energy: 0.5}, false},  // equal
+		{Point{Speedup: 1, Energy: 0.6}, Point{Speedup: 1, Energy: 0.5}, false},  // worse e
+		{Point{Speedup: 0.9, Energy: 0.4}, Point{Speedup: 1, Energy: 0.5}, false},
+		{Point{Speedup: 1.2, Energy: 0.6}, Point{Speedup: 1, Energy: 0.5}, false}, // trade-off
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func frontSet(ps []Point) map[[2]float64]int {
+	m := map[[2]float64]int{}
+	for _, p := range ps {
+		m[[2]float64{p.Speedup, p.Energy}]++
+	}
+	return m
+}
+
+func TestSimpleFront(t *testing.T) {
+	pts := []Point{
+		{Speedup: 1.0, Energy: 1.0, ID: 0},
+		{Speedup: 1.2, Energy: 1.3, ID: 1}, // front: fastest
+		{Speedup: 0.8, Energy: 0.7, ID: 2}, // front: frugal
+		{Speedup: 0.9, Energy: 1.1, ID: 3}, // dominated by 0
+		{Speedup: 1.0, Energy: 1.2, ID: 4}, // dominated by 0
+		{Speedup: 0.5, Energy: 0.7, ID: 5}, // dominated by 2
+	}
+	front := Simple(pts)
+	want := map[[2]float64]int{
+		{1.0, 1.0}: 1,
+		{1.2, 1.3}: 1,
+		{0.8, 0.7}: 1,
+	}
+	got := frontSet(front)
+	if len(got) != len(want) {
+		t.Fatalf("front = %v, want keys %v", front, want)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Errorf("front missing/miscounting %v", k)
+		}
+	}
+}
+
+func TestFastMatchesSimpleProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var pts []Point
+		for i := 0; i+1 < len(raw); i += 2 {
+			s, e := raw[i], raw[i+1]
+			if math.IsNaN(s) || math.IsInf(s, 0) || math.IsNaN(e) || math.IsInf(e, 0) {
+				continue
+			}
+			// Map into plausible objective ranges.
+			pts = append(pts, Point{
+				Speedup: math.Mod(math.Abs(s), 1.5),
+				Energy:  math.Mod(math.Abs(e), 2.0),
+				ID:      i / 2,
+			})
+		}
+		a := frontSet(Simple(pts))
+		b := frontSet(Fast(pts))
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if b[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrontMembersNotMutuallyDominating(t *testing.T) {
+	f := func(raw [24]float64) bool {
+		var pts []Point
+		for i := 0; i+1 < len(raw); i += 2 {
+			pts = append(pts, Point{
+				Speedup: math.Mod(math.Abs(raw[i]), 1.5),
+				Energy:  math.Mod(math.Abs(raw[i+1]), 2.0),
+			})
+		}
+		front := Fast(pts)
+		for i := range front {
+			for j := range front {
+				if i != j && Dominates(front[i], front[j]) {
+					return false
+				}
+			}
+		}
+		// Every non-front point must be dominated by some front point or
+		// be a duplicate of a front point.
+		fs := frontSet(front)
+		for _, p := range pts {
+			if fs[[2]float64{p.Speedup, p.Energy}] > 0 {
+				continue
+			}
+			dominated := false
+			for _, fp := range front {
+				if Dominates(fp, p) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrontEmptyAndSingle(t *testing.T) {
+	if got := Simple(nil); len(got) != 0 {
+		t.Errorf("Simple(nil) = %v", got)
+	}
+	if got := Fast(nil); len(got) != 0 {
+		t.Errorf("Fast(nil) = %v", got)
+	}
+	one := []Point{{Speedup: 1, Energy: 1, ID: 7}}
+	if got := Fast(one); len(got) != 1 || got[0].ID != 7 {
+		t.Errorf("Fast(single) = %v", got)
+	}
+}
+
+func TestDuplicatesKept(t *testing.T) {
+	pts := []Point{
+		{Speedup: 1, Energy: 1, ID: 0},
+		{Speedup: 1, Energy: 1, ID: 1},
+		{Speedup: 0.5, Energy: 1.5, ID: 2},
+	}
+	for name, fn := range map[string]func([]Point) []Point{"Simple": Simple, "Fast": Fast} {
+		front := fn(pts)
+		if len(front) != 2 {
+			t.Errorf("%s kept %d points, want both duplicates", name, len(front))
+		}
+	}
+}
+
+func TestHypervolumeRectangles(t *testing.T) {
+	// Single point (1, 1) vs ref (0, 2): area 1x1 = 1.
+	hv := Hypervolume([]Point{{Speedup: 1, Energy: 1}}, RefPoint)
+	if math.Abs(hv-1) > 1e-12 {
+		t.Errorf("HV = %v, want 1", hv)
+	}
+	// Two-point staircase: (1, 1) and (0.5, 0.5).
+	// Area = 1*(2-1) [s in 0.5..1 at e=1... actually s in (0.5,1]] plus ...
+	// Sweep: (1,1) contributes (1-0.5)*(2-1)=0.5; (0.5,0.5) contributes
+	// (0.5-0)*(2-0.5)=0.75. Total 1.25.
+	hv = Hypervolume([]Point{
+		{Speedup: 1, Energy: 1},
+		{Speedup: 0.5, Energy: 0.5},
+	}, RefPoint)
+	if math.Abs(hv-1.25) > 1e-12 {
+		t.Errorf("HV = %v, want 1.25", hv)
+	}
+	// Dominated points must not change the volume.
+	hv2 := Hypervolume([]Point{
+		{Speedup: 1, Energy: 1},
+		{Speedup: 0.5, Energy: 0.5},
+		{Speedup: 0.4, Energy: 1.9},
+	}, RefPoint)
+	if math.Abs(hv2-hv) > 1e-12 {
+		t.Errorf("dominated point changed HV: %v vs %v", hv2, hv)
+	}
+}
+
+func TestHypervolumeClipsOutside(t *testing.T) {
+	// A point worse than the reference in energy contributes nothing.
+	hv := Hypervolume([]Point{{Speedup: 1, Energy: 2.5}}, RefPoint)
+	if hv != 0 {
+		t.Errorf("HV = %v, want 0 for point outside reference box", hv)
+	}
+}
+
+func TestHypervolumeMonotoneProperty(t *testing.T) {
+	// Adding points never decreases hypervolume.
+	f := func(raw [20]float64, extraS, extraE float64) bool {
+		var pts []Point
+		for i := 0; i+1 < len(raw); i += 2 {
+			pts = append(pts, Point{
+				Speedup: math.Mod(math.Abs(raw[i]), 1.5),
+				Energy:  math.Mod(math.Abs(raw[i+1]), 2.0),
+			})
+		}
+		base := Hypervolume(pts, RefPoint)
+		more := append(pts, Point{
+			Speedup: math.Mod(math.Abs(extraS), 1.5),
+			Energy:  math.Mod(math.Abs(extraE), 2.0),
+		})
+		return Hypervolume(more, RefPoint) >= base-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoverageDifference(t *testing.T) {
+	ref := []Point{{Speedup: 1.2, Energy: 0.9}, {Speedup: 0.9, Energy: 0.7}}
+	// Perfect approximation: zero difference.
+	if d := CoverageDifference(ref, ref); d != 0 {
+		t.Errorf("D(P*, P*) = %v, want 0", d)
+	}
+	// Superset approximation also covers everything.
+	super := append([]Point{{Speedup: 1.3, Energy: 1.0}}, ref...)
+	if d := CoverageDifference(ref, super); d != 0 {
+		t.Errorf("D(P*, superset) = %v, want 0", d)
+	}
+	// Missing the fast extreme leaves uncovered volume.
+	partial := []Point{{Speedup: 0.9, Energy: 0.7}}
+	d := CoverageDifference(ref, partial)
+	// Missing volume: (1.2-0.9)*(2-0.9) = 0.33.
+	if math.Abs(d-0.33) > 1e-9 {
+		t.Errorf("D = %v, want 0.33", d)
+	}
+}
+
+func TestCoverageDifferenceNonNegativeProperty(t *testing.T) {
+	f := func(raw [16]float64) bool {
+		var a, b []Point
+		for i := 0; i+1 < len(raw); i += 2 {
+			p := Point{
+				Speedup: math.Mod(math.Abs(raw[i]), 1.5),
+				Energy:  math.Mod(math.Abs(raw[i+1]), 2.0),
+			}
+			if i%4 == 0 {
+				a = append(a, p)
+			} else {
+				b = append(b, p)
+			}
+		}
+		return CoverageDifference(a, b) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtremes(t *testing.T) {
+	pts := []Point{
+		{Speedup: 1.0, Energy: 1.0, ID: 0},
+		{Speedup: 1.2, Energy: 1.3, ID: 1},
+		{Speedup: 0.8, Energy: 0.7, ID: 2},
+	}
+	maxS, minE, ok := Extremes(pts)
+	if !ok {
+		t.Fatal("Extremes not ok")
+	}
+	if maxS.ID != 1 {
+		t.Errorf("max speedup ID = %d, want 1", maxS.ID)
+	}
+	if minE.ID != 2 {
+		t.Errorf("min energy ID = %d, want 2", minE.ID)
+	}
+	if _, _, ok := Extremes(nil); ok {
+		t.Error("Extremes(nil) reported ok")
+	}
+}
+
+func TestExtremesTieBreak(t *testing.T) {
+	pts := []Point{
+		{Speedup: 1.2, Energy: 1.3, ID: 0},
+		{Speedup: 1.2, Energy: 1.1, ID: 1}, // same speedup, less energy: preferred
+		{Speedup: 0.7, Energy: 0.7, ID: 2},
+		{Speedup: 0.9, Energy: 0.7, ID: 3}, // same energy, more speedup: preferred
+	}
+	maxS, minE, _ := Extremes(pts)
+	if maxS.ID != 1 {
+		t.Errorf("max speedup tie-break ID = %d, want 1", maxS.ID)
+	}
+	if minE.ID != 3 {
+		t.Errorf("min energy tie-break ID = %d, want 3", minE.ID)
+	}
+}
+
+func TestExtremesDistance(t *testing.T) {
+	ref := []Point{{Speedup: 1.2, Energy: 1.3}, {Speedup: 0.8, Energy: 0.7}}
+	approx := []Point{{Speedup: 1.15, Energy: 1.25}, {Speedup: 0.85, Energy: 0.72}}
+	d, ok := ExtremesDistance(ref, approx)
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if math.Abs(d.MaxSpeedupDS-0.05) > 1e-12 || math.Abs(d.MaxSpeedupDE-0.05) > 1e-12 {
+		t.Errorf("max speedup distance = (%v, %v), want (0.05, 0.05)", d.MaxSpeedupDS, d.MaxSpeedupDE)
+	}
+	if math.Abs(d.MinEnergyDS-0.05) > 1e-12 || math.Abs(d.MinEnergyDE-0.02) > 1e-12 {
+		t.Errorf("min energy distance = (%v, %v), want (0.05, 0.02)", d.MinEnergyDS, d.MinEnergyDE)
+	}
+	if _, ok := ExtremesDistance(ref, nil); ok {
+		t.Error("empty approximation reported ok")
+	}
+}
+
+func TestFrontSorted(t *testing.T) {
+	pts := []Point{
+		{Speedup: 1.2, Energy: 1.3},
+		{Speedup: 0.8, Energy: 0.7},
+		{Speedup: 1.0, Energy: 1.0},
+	}
+	front := Fast(pts)
+	if !sort.SliceIsSorted(front, func(i, j int) bool {
+		return front[i].Speedup < front[j].Speedup
+	}) {
+		t.Errorf("front not sorted by speedup: %v", front)
+	}
+}

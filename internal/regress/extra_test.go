@@ -1,0 +1,101 @@
+package regress
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGaussFallbackOnIndefinite(t *testing.T) {
+	// Directly exercise the Gaussian-elimination path with a symmetric
+	// indefinite (but nonsingular) system that Cholesky rejects.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{2, 3}
+	x, err := solveSPD(a, b)
+	if err != nil {
+		t.Fatalf("solveSPD: %v", err)
+	}
+	// Solution: x = [3, 2].
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestGaussSingular(t *testing.T) {
+	a := [][]float64{{1, 1}, {1, 1}}
+	b := []float64{1, 2}
+	if _, err := gauss(a, b); err == nil {
+		t.Error("expected error for singular system")
+	}
+}
+
+func TestSoftThreshold(t *testing.T) {
+	cases := []struct{ v, l, want float64 }{
+		{2, 0.5, 1.5},
+		{-2, 0.5, -1.5},
+		{0.3, 0.5, 0},
+		{-0.3, 0.5, 0},
+		{0.5, 0.5, 0},
+	}
+	for _, c := range cases {
+		if got := softThreshold(c.v, c.l); got != c.want {
+			t.Errorf("softThreshold(%v, %v) = %v, want %v", c.v, c.l, got, c.want)
+		}
+	}
+}
+
+func TestLassoZeroPenaltyMatchesOLS(t *testing.T) {
+	xs, ys := linearData(60, 5)
+	ols, err := OLS(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lasso, err := Lasso(xs, ys, 0, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range ols.Weights {
+		if math.Abs(ols.Weights[j]-lasso.Weights[j]) > 1e-4 {
+			t.Errorf("weight %d: OLS %v vs LASSO(0) %v", j, ols.Weights[j], lasso.Weights[j])
+		}
+	}
+}
+
+func TestExpandDegrees(t *testing.T) {
+	x := []float64{2, 3}
+	d1 := expand(x, 1)
+	if len(d1) != 2 {
+		t.Errorf("degree 1 expansion len %d", len(d1))
+	}
+	d2 := expand(x, 2)
+	// [2 3 4 9 6]: originals, squares, pairwise product.
+	want := []float64{2, 3, 4, 9, 6}
+	if len(d2) != len(want) {
+		t.Fatalf("degree 2 expansion = %v", d2)
+	}
+	for i := range want {
+		if d2[i] != want[i] {
+			t.Errorf("expansion[%d] = %v, want %v", i, d2[i], want[i])
+		}
+	}
+	d3 := expand(x, 3)
+	if len(d3) != 7 { // + cubes
+		t.Errorf("degree 3 expansion len = %d, want 7", len(d3))
+	}
+}
+
+func TestRidgeLambdaZeroIsOLS(t *testing.T) {
+	xs, ys := linearData(40, 8)
+	a, err := Ridge(xs, ys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OLS(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Weights {
+		if math.Abs(a.Weights[j]-b.Weights[j]) > 1e-6 {
+			t.Errorf("weight %d differs: %v vs %v", j, a.Weights[j], b.Weights[j])
+		}
+	}
+}

@@ -1,0 +1,360 @@
+// Package regress implements the simpler regression models the paper
+// evaluated and discarded in favor of SVR (Section 3.4): ordinary least
+// squares, ridge regression, LASSO (coordinate descent), and polynomial
+// regression via feature expansion. They are used as ablation baselines.
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model is a fitted linear-in-features regressor.
+type Model struct {
+	// Weights has one coefficient per (expanded) feature.
+	Weights []float64
+	// Intercept is the bias term.
+	Intercept float64
+	// Degree is the polynomial expansion degree applied to inputs (1 = raw).
+	Degree int
+}
+
+// Predict evaluates the model at x (raw, unexpanded features).
+func (m *Model) Predict(x []float64) float64 {
+	ex := expand(x, m.Degree)
+	s := m.Intercept
+	for i, w := range m.Weights {
+		s += w * ex[i]
+	}
+	return s
+}
+
+// expand maps x to its polynomial feature expansion of the given degree:
+// degree 1 returns x; degree d appends x_i^2 ... x_i^d per component plus
+// first-order pairwise products for d >= 2.
+func expand(x []float64, degree int) []float64 {
+	if degree <= 1 {
+		return x
+	}
+	out := append([]float64(nil), x...)
+	for d := 2; d <= degree; d++ {
+		for _, v := range x {
+			out = append(out, math.Pow(v, float64(d)))
+		}
+	}
+	for i := 0; i < len(x); i++ {
+		for j := i + 1; j < len(x); j++ {
+			out = append(out, x[i]*x[j])
+		}
+	}
+	return out
+}
+
+func validate(xs [][]float64, ys []float64) (int, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return 0, fmt.Errorf("regress: bad training set: %d xs, %d ys", len(xs), len(ys))
+	}
+	d := len(xs[0])
+	if d == 0 {
+		return 0, errors.New("regress: empty feature vectors")
+	}
+	for i, x := range xs {
+		if len(x) != d {
+			return 0, fmt.Errorf("regress: row %d has dim %d, want %d", i, len(x), d)
+		}
+	}
+	return d, nil
+}
+
+// OLS fits ordinary least squares via the normal equations with a tiny
+// ridge jitter for numerical stability of collinear designs.
+func OLS(xs [][]float64, ys []float64) (*Model, error) {
+	return Ridge(xs, ys, 1e-9)
+}
+
+// Ridge fits L2-regularized least squares: (XᵀX + λI)w = Xᵀy, with an
+// unpenalized intercept handled by centering.
+func Ridge(xs [][]float64, ys []float64, lambda float64) (*Model, error) {
+	if _, err := validate(xs, ys); err != nil {
+		return nil, err
+	}
+	if lambda < 0 {
+		return nil, errors.New("regress: lambda must be non-negative")
+	}
+	return ridgeExpanded(xs, ys, lambda, 1)
+}
+
+// Polynomial fits OLS on a degree-d polynomial feature expansion.
+func Polynomial(xs [][]float64, ys []float64, degree int) (*Model, error) {
+	if _, err := validate(xs, ys); err != nil {
+		return nil, err
+	}
+	if degree < 1 {
+		return nil, errors.New("regress: degree must be >= 1")
+	}
+	return ridgeExpanded(xs, ys, 1e-9, degree)
+}
+
+func ridgeExpanded(xs [][]float64, ys []float64, lambda float64, degree int) (*Model, error) {
+	n := len(xs)
+	exp := make([][]float64, n)
+	for i, x := range xs {
+		exp[i] = expand(x, degree)
+	}
+	d := len(exp[0])
+
+	// Center features and targets so the intercept is exact.
+	muX := make([]float64, d)
+	for _, x := range exp {
+		for j, v := range x {
+			muX[j] += v
+		}
+	}
+	for j := range muX {
+		muX[j] /= float64(n)
+	}
+	muY := 0.0
+	for _, y := range ys {
+		muY += y
+	}
+	muY /= float64(n)
+
+	// Build XᵀX + λI and Xᵀy on centered data.
+	ata := make([][]float64, d)
+	for i := range ata {
+		ata[i] = make([]float64, d)
+	}
+	aty := make([]float64, d)
+	for r := 0; r < n; r++ {
+		x := exp[r]
+		yc := ys[r] - muY
+		for i := 0; i < d; i++ {
+			xi := x[i] - muX[i]
+			aty[i] += xi * yc
+			for j := i; j < d; j++ {
+				ata[i][j] += xi * (x[j] - muX[j])
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		ata[i][i] += lambda
+		for j := 0; j < i; j++ {
+			ata[i][j] = ata[j][i]
+		}
+	}
+
+	w, err := solveSPD(ata, aty)
+	if err != nil {
+		return nil, err
+	}
+	b := muY
+	for j := range w {
+		b -= w[j] * muX[j]
+	}
+	return &Model{Weights: w, Intercept: b, Degree: degree}, nil
+}
+
+// solveSPD solves Ax = b for symmetric positive-definite A via Cholesky
+// with partial fallback to Gaussian elimination if factorization fails.
+func solveSPD(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	ok := true
+	for i := 0; i < n && ok; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					ok = false
+					break
+				}
+				l[i][i] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	if ok {
+		// Forward then backward substitution.
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			s := b[i]
+			for k := 0; k < i; k++ {
+				s -= l[i][k] * y[k]
+			}
+			y[i] = s / l[i][i]
+		}
+		x := make([]float64, n)
+		for i := n - 1; i >= 0; i-- {
+			s := y[i]
+			for k := i + 1; k < n; k++ {
+				s -= l[k][i] * x[k]
+			}
+			x[i] = s / l[i][i]
+		}
+		return x, nil
+	}
+	return gauss(a, b)
+}
+
+// gauss solves Ax = b by Gaussian elimination with partial pivoting.
+func gauss(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-14 {
+			return nil, errors.New("regress: singular system")
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for c := i + 1; c < n; c++ {
+			s -= m[i][c] * x[c]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}
+
+// Lasso fits L1-regularized least squares by cyclic coordinate descent on
+// standardized features. lambda is the L1 penalty; iters caps the sweeps.
+func Lasso(xs [][]float64, ys []float64, lambda float64, iters int) (*Model, error) {
+	n, err := 0, error(nil)
+	if n, err = validate(xs, ys); err != nil {
+		return nil, err
+	}
+	_ = n
+	if lambda < 0 {
+		return nil, errors.New("regress: lambda must be non-negative")
+	}
+	if iters <= 0 {
+		iters = 1000
+	}
+	rows := len(xs)
+	d := len(xs[0])
+
+	// Standardize columns.
+	mu := make([]float64, d)
+	sd := make([]float64, d)
+	for _, x := range xs {
+		for j, v := range x {
+			mu[j] += v
+		}
+	}
+	for j := range mu {
+		mu[j] /= float64(rows)
+	}
+	for _, x := range xs {
+		for j, v := range x {
+			dv := v - mu[j]
+			sd[j] += dv * dv
+		}
+	}
+	for j := range sd {
+		sd[j] = math.Sqrt(sd[j] / float64(rows))
+		if sd[j] < 1e-12 {
+			sd[j] = 1 // constant column: weight will stay 0
+		}
+	}
+	muY := 0.0
+	for _, y := range ys {
+		muY += y
+	}
+	muY /= float64(rows)
+
+	z := make([][]float64, rows)
+	for i, x := range xs {
+		z[i] = make([]float64, d)
+		for j, v := range x {
+			z[i][j] = (v - mu[j]) / sd[j]
+		}
+	}
+
+	w := make([]float64, d)
+	resid := make([]float64, rows)
+	for i := range resid {
+		resid[i] = ys[i] - muY
+	}
+	for it := 0; it < iters; it++ {
+		maxDelta := 0.0
+		for j := 0; j < d; j++ {
+			// rho = (1/n) Σ z_ij (resid_i + w_j z_ij)
+			rho := 0.0
+			for i := range z {
+				rho += z[i][j] * (resid[i] + w[j]*z[i][j])
+			}
+			rho /= float64(rows)
+			newW := softThreshold(rho, lambda)
+			if newW != w[j] {
+				delta := newW - w[j]
+				for i := range z {
+					resid[i] -= delta * z[i][j]
+				}
+				if ad := math.Abs(delta); ad > maxDelta {
+					maxDelta = ad
+				}
+				w[j] = newW
+			}
+		}
+		if maxDelta < 1e-9 {
+			break
+		}
+	}
+
+	// De-standardize.
+	out := make([]float64, d)
+	b := muY
+	for j := range w {
+		out[j] = w[j] / sd[j]
+		b -= out[j] * mu[j]
+	}
+	return &Model{Weights: out, Intercept: b, Degree: 1}, nil
+}
+
+func softThreshold(v, lambda float64) float64 {
+	switch {
+	case v > lambda:
+		return v - lambda
+	case v < -lambda:
+		return v + lambda
+	default:
+		return 0
+	}
+}
+
+// RMSE computes the root-mean-square error of predictions against targets.
+func RMSE(pred, ys []float64) float64 {
+	if len(pred) != len(ys) || len(ys) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for i := range ys {
+		d := pred[i] - ys[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(ys)))
+}

@@ -1,0 +1,239 @@
+package regress
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+type det struct{ s uint64 }
+
+func (d *det) next() float64 {
+	d.s = d.s*6364136223846793005 + 1442695040888963407
+	return float64(d.s>>11) / float64(1<<53)
+}
+
+func linearData(n int, seed uint64) ([][]float64, []float64) {
+	r := &det{s: seed}
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < n; i++ {
+		a, b := r.next(), r.next()
+		xs = append(xs, []float64{a, b})
+		ys = append(ys, 2+3*a-1.5*b)
+	}
+	return xs, ys
+}
+
+func TestOLSExactRecovery(t *testing.T) {
+	xs, ys := linearData(50, 1)
+	m, err := OLS(xs, ys)
+	if err != nil {
+		t.Fatalf("OLS: %v", err)
+	}
+	if math.Abs(m.Intercept-2) > 1e-6 {
+		t.Errorf("intercept = %v, want 2", m.Intercept)
+	}
+	if math.Abs(m.Weights[0]-3) > 1e-6 || math.Abs(m.Weights[1]+1.5) > 1e-6 {
+		t.Errorf("weights = %v, want [3, -1.5]", m.Weights)
+	}
+	if rmse := RMSE(predictAll(m, xs), ys); rmse > 1e-6 {
+		t.Errorf("RMSE = %v, want ~0", rmse)
+	}
+}
+
+func TestRidgeShrinks(t *testing.T) {
+	xs, ys := linearData(50, 2)
+	ols, err := OLS(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ridge, err := Ridge(xs, ys, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm(ridge.Weights) >= norm(ols.Weights) {
+		t.Errorf("ridge weights ‖%v‖ not smaller than OLS ‖%v‖", ridge.Weights, ols.Weights)
+	}
+}
+
+func TestLassoSparsity(t *testing.T) {
+	// Third feature is pure noise: LASSO must zero it out.
+	r := &det{s: 3}
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		a, b, c := r.next(), r.next(), r.next()
+		xs = append(xs, []float64{a, b, c})
+		ys = append(ys, 1+4*a-2*b)
+		_ = c
+	}
+	m, err := Lasso(xs, ys, 0.05, 2000)
+	if err != nil {
+		t.Fatalf("Lasso: %v", err)
+	}
+	if m.Weights[2] != 0 {
+		t.Errorf("noise weight = %v, want exactly 0", m.Weights[2])
+	}
+	if m.Weights[0] < 2 || m.Weights[1] > -0.5 {
+		t.Errorf("signal weights %v too shrunk", m.Weights)
+	}
+}
+
+func TestLassoHeavyPenaltyZeroesAll(t *testing.T) {
+	xs, ys := linearData(50, 4)
+	m, err := Lasso(xs, ys, 1e6, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, w := range m.Weights {
+		if w != 0 {
+			t.Errorf("weight %d = %v, want 0 under huge penalty", j, w)
+		}
+	}
+	// Intercept should then be the target mean.
+	mean := 0.0
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	if math.Abs(m.Intercept-mean) > 1e-9 {
+		t.Errorf("intercept = %v, want mean %v", m.Intercept, mean)
+	}
+}
+
+func TestPolynomialFitsParabola(t *testing.T) {
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i <= 30; i++ {
+		x := float64(i) / 30
+		xs = append(xs, []float64{x})
+		ys = append(ys, 1.5*(x-0.7)*(x-0.7)+0.8)
+	}
+	lin, err := OLS(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := Polynomial(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := RMSE(predictAll(quad, xs), ys); r > 1e-6 {
+		t.Errorf("degree-2 RMSE = %v, want ~0", r)
+	}
+	if RMSE(predictAll(quad, xs), ys) >= RMSE(predictAll(lin, xs), ys) {
+		t.Error("quadratic fit not better than linear on a parabola")
+	}
+}
+
+func TestPolynomialCrossTerms(t *testing.T) {
+	// y = x0*x1 requires the pairwise product feature.
+	r := &det{s: 9}
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 100; i++ {
+		a, b := r.next(), r.next()
+		xs = append(xs, []float64{a, b})
+		ys = append(ys, a*b)
+	}
+	m, err := Polynomial(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse := RMSE(predictAll(m, xs), ys); rmse > 1e-6 {
+		t.Errorf("cross-term RMSE = %v, want ~0", rmse)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := OLS(nil, nil); err == nil {
+		t.Error("OLS empty: expected error")
+	}
+	if _, err := OLS([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("OLS mismatched: expected error")
+	}
+	if _, err := OLS([][]float64{{1}, {1, 2}}, []float64{1, 2}); err == nil {
+		t.Error("OLS ragged: expected error")
+	}
+	if _, err := Ridge([][]float64{{1}}, []float64{1}, -1); err == nil {
+		t.Error("Ridge negative lambda: expected error")
+	}
+	if _, err := Lasso([][]float64{{1}}, []float64{1}, -1, 10); err == nil {
+		t.Error("Lasso negative lambda: expected error")
+	}
+	if _, err := Polynomial([][]float64{{1}}, []float64{1}, 0); err == nil {
+		t.Error("Polynomial degree 0: expected error")
+	}
+	if _, err := OLS([][]float64{{}}, []float64{1}); err == nil {
+		t.Error("OLS zero-dim: expected error")
+	}
+}
+
+func TestConstantColumnHandled(t *testing.T) {
+	xs := [][]float64{{1, 5}, {2, 5}, {3, 5}, {4, 5}}
+	ys := []float64{2, 4, 6, 8}
+	m, err := OLS(xs, ys)
+	if err != nil {
+		t.Fatalf("OLS with constant column: %v", err)
+	}
+	if math.Abs(m.Predict([]float64{5, 5})-10) > 1e-6 {
+		t.Errorf("Predict = %v, want 10", m.Predict([]float64{5, 5}))
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	if got := RMSE([]float64{1, 2}, []float64{1, 2}); got != 0 {
+		t.Errorf("RMSE identical = %v", got)
+	}
+	if got := RMSE([]float64{0, 0}, []float64{3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMSE = %v, want sqrt(12.5)", got)
+	}
+	if !math.IsNaN(RMSE([]float64{1}, []float64{1, 2})) {
+		t.Error("RMSE with mismatched lengths should be NaN")
+	}
+}
+
+func TestOLSResidualOrthogonalityProperty(t *testing.T) {
+	// Property: OLS residuals are orthogonal to every feature column.
+	f := func(seed uint16) bool {
+		xs, ys := linearData(30, uint64(seed)+1)
+		// Perturb targets so residuals are nonzero.
+		r := &det{s: uint64(seed) * 77}
+		for i := range ys {
+			ys[i] += 0.3 * (r.next() - 0.5)
+		}
+		m, err := OLS(xs, ys)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < 2; j++ {
+			dot := 0.0
+			for i, x := range xs {
+				dot += (ys[i] - m.Predict(x)) * x[j]
+			}
+			if math.Abs(dot) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func predictAll(m *Model, xs [][]float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+func norm(w []float64) float64 {
+	s := 0.0
+	for _, v := range w {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

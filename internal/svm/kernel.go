@@ -1,0 +1,71 @@
+// Package svm implements ε-support-vector regression trained with a
+// LIBSVM-style SMO solver, supporting the linear and RBF kernels the paper
+// selects for its speedup and normalized-energy models (Section 3.4) plus a
+// polynomial kernel for ablations. Stdlib only.
+package svm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kernel evaluates a Mercer kernel on two feature vectors.
+type Kernel interface {
+	// Eval returns K(a, b). Vectors must have equal length.
+	Eval(a, b []float64) float64
+	// String describes the kernel and its parameters.
+	String() string
+}
+
+// Linear is the inner-product kernel K(a,b) = a·b, used by the paper for
+// speedup modeling (speedup grows linearly with core frequency).
+type Linear struct{}
+
+// Eval returns the dot product of a and b.
+func (Linear) Eval(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func (Linear) String() string { return "linear" }
+
+// RBF is the Gaussian kernel K(a,b) = exp(-γ‖a−b‖²), used by the paper for
+// normalized-energy modeling with γ = 0.1.
+type RBF struct {
+	Gamma float64
+}
+
+// Eval returns exp(-γ‖a−b‖²).
+func (k RBF) Eval(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		diff := a[i] - b[i]
+		d += diff * diff
+	}
+	return math.Exp(-k.Gamma * d)
+}
+
+func (k RBF) String() string { return fmt.Sprintf("rbf(gamma=%g)", k.Gamma) }
+
+// Poly is the polynomial kernel K(a,b) = (γ a·b + c)^d.
+type Poly struct {
+	Gamma  float64
+	Coef0  float64
+	Degree int
+}
+
+// Eval returns (γ a·b + c)^d.
+func (k Poly) Eval(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return math.Pow(k.Gamma*s+k.Coef0, float64(k.Degree))
+}
+
+func (k Poly) String() string {
+	return fmt.Sprintf("poly(gamma=%g, coef0=%g, degree=%d)", k.Gamma, k.Coef0, k.Degree)
+}

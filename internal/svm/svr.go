@@ -1,0 +1,417 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params configures ε-SVR training. The paper uses C = 1000, ε = 0.1 for
+// both models, linear kernel for speedup and RBF(γ=0.1) for energy.
+type Params struct {
+	// C is the box constraint (regularization inverse).
+	C float64
+	// Epsilon is the insensitive-tube half width.
+	Epsilon float64
+	// Tol is the KKT violation tolerance for convergence (default 1e-3).
+	Tol float64
+	// MaxIter caps SMO iterations; <=0 means 200×n with a floor of 100k.
+	MaxIter int
+	// CacheRows bounds the kernel row cache (default 768 rows).
+	CacheRows int
+}
+
+// Model is a trained ε-SVR: f(x) = Σ coef_i·K(sv_i, x) + b.
+type Model struct {
+	SupportVectors [][]float64
+	Coefs          []float64
+	B              float64
+	kernel         Kernel
+	// Iters and Converged describe the training run.
+	Iters     int
+	Converged bool
+}
+
+// Kernel returns the kernel the model was trained with.
+func (m *Model) Kernel() Kernel { return m.kernel }
+
+// Predict evaluates the regression function at x.
+func (m *Model) Predict(x []float64) float64 {
+	s := m.B
+	for i, sv := range m.SupportVectors {
+		s += m.Coefs[i] * m.kernel.Eval(sv, x)
+	}
+	return s
+}
+
+// PredictBatch evaluates the model at every row of xs.
+func (m *Model) PredictBatch(xs [][]float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+// NumSV returns the number of support vectors.
+func (m *Model) NumSV() int { return len(m.SupportVectors) }
+
+// Train fits an ε-SVR on (xs, ys) with the given kernel. It implements SMO
+// on the standard 2n-variable dual with maximal-violating-pair working-set
+// selection and an LRU kernel row cache.
+func Train(xs [][]float64, ys []float64, k Kernel, p Params) (*Model, error) {
+	n := len(xs)
+	if n == 0 || len(ys) != n {
+		return nil, fmt.Errorf("svm: bad training set: %d xs, %d ys", n, len(ys))
+	}
+	dim := len(xs[0])
+	for i, x := range xs {
+		if len(x) != dim {
+			return nil, fmt.Errorf("svm: row %d has dim %d, want %d", i, len(x), dim)
+		}
+	}
+	for i, y := range ys {
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			return nil, fmt.Errorf("svm: target %d is not finite: %v", i, y)
+		}
+	}
+	if p.C <= 0 {
+		return nil, errors.New("svm: C must be positive")
+	}
+	if p.Epsilon < 0 {
+		return nil, errors.New("svm: epsilon must be non-negative")
+	}
+	if p.Tol <= 0 {
+		p.Tol = 1e-3
+	}
+	maxIter := p.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200 * n
+		if maxIter < 100_000 {
+			maxIter = 100_000
+		}
+	}
+
+	s := &solver{
+		xs: xs, ys: ys, k: k,
+		n: n, c: p.C, eps: p.Epsilon, tol: p.Tol,
+		cache: newRowCache(k, xs, p.CacheRows),
+	}
+	iters, converged := s.solve(maxIter)
+
+	// Collect support vectors: beta_i = alpha_i - alpha*_i != 0.
+	m := &Model{kernel: k, Iters: iters, Converged: converged}
+	for i := 0; i < n; i++ {
+		beta := s.alpha[i] - s.alpha[i+n]
+		if math.Abs(beta) > 1e-12 {
+			m.SupportVectors = append(m.SupportVectors, xs[i])
+			m.Coefs = append(m.Coefs, beta)
+		}
+	}
+	m.B = s.offset()
+	return m, nil
+}
+
+// solver holds SMO state for the 2n-variable ε-SVR dual:
+//
+//	min ½ αᵀQα + pᵀα  s.t.  zᵀα = 0, 0 ≤ α ≤ C
+//
+// with, for a < n (the αᵢ block, z=+1): p_a = ε − y_a, and for a ≥ n (the
+// αᵢ* block, z=−1): p_a = ε + y_{a−n}; Q_ab = z_a z_b K(x_{a%n}, x_{b%n}).
+type solver struct {
+	xs    [][]float64
+	ys    []float64
+	k     Kernel
+	n     int
+	c     float64
+	eps   float64
+	tol   float64
+	alpha []float64 // 2n
+	grad  []float64 // 2n
+	cache *rowCache
+}
+
+func (s *solver) z(a int) float64 {
+	if a < s.n {
+		return 1
+	}
+	return -1
+}
+
+func (s *solver) p(a int) float64 {
+	if a < s.n {
+		return s.eps - s.ys[a]
+	}
+	return s.eps + s.ys[a-s.n]
+}
+
+// solve runs SMO until convergence or maxIter, returning (iters, converged).
+func (s *solver) solve(maxIter int) (int, bool) {
+	n2 := 2 * s.n
+	s.alpha = make([]float64, n2)
+	s.grad = make([]float64, n2)
+	for a := 0; a < n2; a++ {
+		s.grad[a] = s.p(a) // alpha = 0 initially
+	}
+
+	for it := 0; it < maxIter; it++ {
+		i, j, gap := s.selectPair()
+		if gap < s.tol {
+			return it, true
+		}
+		s.update(i, j)
+	}
+	return maxIter, false
+}
+
+// selectPair picks the working pair with second-order selection (LIBSVM
+// WSS2): i is the maximal violator in I_up; j maximizes the guaranteed
+// objective decrease b²/a among I_low candidates. The returned gap is the
+// first-order KKT violation used as the stopping criterion.
+func (s *solver) selectPair() (int, int, float64) {
+	n2 := 2 * s.n
+	up := -1
+	upVal := math.Inf(-1)
+	for a := 0; a < n2; a++ {
+		z := s.z(a)
+		// a ∈ I_up: α can still move in the +z direction.
+		if (z > 0 && s.alpha[a] < s.c) || (z < 0 && s.alpha[a] > 0) {
+			if v := -z * s.grad[a]; v > upVal {
+				upVal, up = v, a
+			}
+		}
+	}
+	if up < 0 {
+		return 0, 0, 0
+	}
+	rowUp := s.cache.row(up % s.n)
+	kii := rowUp[up%s.n]
+
+	low := -1
+	lowVal := math.Inf(1)
+	bestGain := -1.0
+	const tau = 1e-12
+	for a := 0; a < n2; a++ {
+		z := s.z(a)
+		// a ∈ I_low: α can still move in the −z direction.
+		if (z < 0 && s.alpha[a] < s.c) || (z > 0 && s.alpha[a] > 0) {
+			v := -z * s.grad[a]
+			if v < lowVal {
+				lowVal = v
+			}
+			b := upVal - v
+			if b > 0 {
+				// a_t = K_ii + K_tt − 2K_it = ‖φ(x_i) − φ(x_t)‖².
+				at := kii + s.cache.diag(a%s.n) - 2*rowUp[a%s.n]
+				if at <= 0 {
+					at = tau
+				}
+				if gain := b * b / at; gain > bestGain {
+					bestGain, low = gain, a
+				}
+			}
+		}
+	}
+	if low < 0 {
+		return 0, 0, 0
+	}
+	return up, low, upVal - lowVal
+}
+
+// q returns Q_ab.
+func (s *solver) q(a, b int) float64 {
+	return s.z(a) * s.z(b) * s.cache.at(a%s.n, b%s.n)
+}
+
+// update performs the analytic two-variable optimization for pair (i, j),
+// then refreshes the gradient.
+func (s *solver) update(i, j int) {
+	const tau = 1e-12
+	zi, zj := s.z(i), s.z(j)
+	rowI := s.cache.row(i % s.n)
+	rowJ := s.cache.row(j % s.n)
+	kii := rowI[i%s.n]
+	kjj := rowJ[j%s.n]
+	kij := rowI[j%s.n]
+
+	// In the 2n-variable dual, Q_ab = z_a z_b K_(a%n)(b%n); for both pair
+	// kinds the quadratic coefficient reduces to ‖φ(x_i) − φ(x_j)‖².
+	quad := kii + kjj - 2*kij
+	if quad <= 0 {
+		quad = tau
+	}
+	oldAi, oldAj := s.alpha[i], s.alpha[j]
+	if zi != zj {
+		delta := (-s.grad[i] - s.grad[j]) / quad
+		diff := s.alpha[i] - s.alpha[j]
+		s.alpha[i] += delta
+		s.alpha[j] += delta
+		// Box clipping preserving alpha_i - alpha_j = diff (LIBSVM order).
+		if diff > 0 {
+			if s.alpha[j] < 0 {
+				s.alpha[j] = 0
+				s.alpha[i] = diff
+			}
+			if s.alpha[i] > s.c {
+				s.alpha[i] = s.c
+				s.alpha[j] = s.c - diff
+			}
+		} else {
+			if s.alpha[i] < 0 {
+				s.alpha[i] = 0
+				s.alpha[j] = -diff
+			}
+			if s.alpha[j] > s.c {
+				s.alpha[j] = s.c
+				s.alpha[i] = s.c + diff
+			}
+		}
+	} else {
+		delta := (s.grad[i] - s.grad[j]) / quad
+		sum := s.alpha[i] + s.alpha[j]
+		s.alpha[i] -= delta
+		s.alpha[j] += delta
+		// Box clipping preserving alpha_i + alpha_j = sum (LIBSVM order).
+		if sum > s.c {
+			if s.alpha[i] > s.c {
+				s.alpha[i] = s.c
+				s.alpha[j] = sum - s.c
+			}
+		} else {
+			if s.alpha[j] < 0 {
+				s.alpha[j] = 0
+				s.alpha[i] = sum
+			}
+		}
+		if sum > s.c {
+			if s.alpha[j] > s.c {
+				s.alpha[j] = s.c
+				s.alpha[i] = sum - s.c
+			}
+		} else {
+			if s.alpha[i] < 0 {
+				s.alpha[i] = 0
+				s.alpha[j] = sum
+			}
+		}
+	}
+
+	dAi := s.alpha[i] - oldAi
+	dAj := s.alpha[j] - oldAj
+	if dAi == 0 && dAj == 0 {
+		return
+	}
+	// Gradient update: G_a += Q_ai dAi + Q_aj dAj, exploiting the block
+	// structure Q_ab = z_a z_b K_(a%n)(b%n).
+	n := s.n
+	for base := 0; base < n; base++ {
+		ki := rowI[base]
+		kj := rowJ[base]
+		v := zi*ki*dAi + zj*kj*dAj
+		s.grad[base] += v   // z_a = +1
+		s.grad[base+n] -= v // z_a = -1
+	}
+}
+
+// offset derives the bias term b of f(x) = Σβ K + b from the KKT
+// conditions: for interior variables z_a G_a is the equality multiplier; b
+// is its negation. Falls back to the feasible-interval midpoint when no
+// variable is strictly inside the box.
+func (s *solver) offset() float64 {
+	n2 := 2 * s.n
+	sum, cnt := 0.0, 0
+	lo, hi := math.Inf(-1), math.Inf(1)
+	for a := 0; a < n2; a++ {
+		v := s.z(a) * s.grad[a]
+		switch {
+		case s.alpha[a] > 0 && s.alpha[a] < s.c:
+			sum += v
+			cnt++
+		case s.alpha[a] == 0:
+			// G - b' z >= 0 where b' is the multiplier: z G >= b' if z>0...
+			if s.z(a) > 0 {
+				hi = math.Min(hi, v)
+			} else {
+				lo = math.Max(lo, v)
+			}
+		default: // alpha == C
+			if s.z(a) > 0 {
+				lo = math.Max(lo, v)
+			} else {
+				hi = math.Min(hi, v)
+			}
+		}
+	}
+	var mult float64
+	if cnt > 0 {
+		mult = sum / float64(cnt)
+	} else {
+		switch {
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			mult = 0
+		case math.IsInf(lo, -1):
+			mult = hi
+		case math.IsInf(hi, 1):
+			mult = lo
+		default:
+			mult = (lo + hi) / 2
+		}
+	}
+	return -mult
+}
+
+// rowCache is an LRU cache of kernel matrix rows.
+type rowCache struct {
+	k     Kernel
+	xs    [][]float64
+	rows  map[int][]float64
+	lru   []int
+	cap   int
+	diags []float64
+}
+
+func newRowCache(k Kernel, xs [][]float64, capRows int) *rowCache {
+	if capRows <= 0 {
+		capRows = 768
+	}
+	diags := make([]float64, len(xs))
+	for i, x := range xs {
+		diags[i] = k.Eval(x, x)
+	}
+	return &rowCache{k: k, xs: xs, rows: map[int][]float64{}, cap: capRows, diags: diags}
+}
+
+// diag returns K(x_i, x_i) from the precomputed diagonal.
+func (c *rowCache) diag(i int) float64 { return c.diags[i] }
+
+// row returns the full kernel row for base index i, computing and caching
+// it on demand.
+func (c *rowCache) row(i int) []float64 {
+	if r, ok := c.rows[i]; ok {
+		return r
+	}
+	r := make([]float64, len(c.xs))
+	for j := range c.xs {
+		r[j] = c.k.Eval(c.xs[i], c.xs[j])
+	}
+	if len(c.rows) >= c.cap {
+		// Evict the oldest cached row.
+		oldest := c.lru[0]
+		c.lru = c.lru[1:]
+		delete(c.rows, oldest)
+	}
+	c.rows[i] = r
+	c.lru = append(c.lru, i)
+	return r
+}
+
+// at returns K(x_i, x_j), via the cache when available.
+func (c *rowCache) at(i, j int) float64 {
+	if r, ok := c.rows[i]; ok {
+		return r[j]
+	}
+	if r, ok := c.rows[j]; ok {
+		return r[i]
+	}
+	return c.k.Eval(c.xs[i], c.xs[j])
+}

@@ -1,0 +1,279 @@
+// Package synth generates the paper's 106 synthetic training
+// micro-benchmarks (Section 3.3): pattern-based OpenCL codes, each pattern
+// stressing one feature class with instruction intensities 2⁰..2⁸ (nine
+// codes per pattern, ten patterns), plus sixteen mixed-feature kernels. The
+// generated sources are real OpenCL-subset code that flows through the same
+// front-end, feature extractor and simulator as the test benchmarks.
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/clkernel"
+	"repro/internal/features"
+	"repro/internal/gpu"
+)
+
+// Benchmark is one generated training micro-benchmark.
+type Benchmark struct {
+	// Name is unique, e.g. "b-float-add-64".
+	Name string
+	// Pattern is the generating pattern, e.g. "b-float-add".
+	Pattern string
+	// Intensity is the instruction count of the stressed class.
+	Intensity int
+	// Source is the OpenCL kernel source.
+	Source string
+	// KernelName is the kernel function's name within Source.
+	KernelName string
+
+	prog *clkernel.Program
+}
+
+// Program returns the parsed program (cached).
+func (b *Benchmark) Program() *clkernel.Program {
+	if b.prog == nil {
+		b.prog = clkernel.MustParse(b.Source)
+	}
+	return b.prog
+}
+
+// Features extracts the static feature vector of the benchmark.
+func (b *Benchmark) Features() features.Static {
+	return features.Extract(b.Program().Kernel(b.KernelName), b.Program())
+}
+
+// Profile derives the dynamic execution profile used by the simulator.
+// Micro-benchmarks run 2²⁰ work-items with the cache behaviour of a typical
+// application kernel (partial L2 reuse, near-full coalescing) so that the
+// feature→behaviour mapping the models learn is centered on what the test
+// benchmarks exhibit.
+func (b *Benchmark) Profile() gpu.KernelProfile {
+	counts := clkernel.Count(b.Program().Kernel(b.KernelName), b.Program(), clkernel.Weighted)
+	return gpu.KernelProfile{
+		Name:         b.Name,
+		Counts:       counts,
+		WorkItems:    1 << 20,
+		Coalescing:   0.9,
+		CacheHitRate: 0.45,
+	}
+}
+
+// Intensities are the per-pattern instruction intensities: 2⁰..2⁸, nine
+// codes per pattern as in the paper ("from 2⁰ to 2⁸").
+var Intensities = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// pattern describes one code-generation pattern.
+type pattern struct {
+	name string
+	gen  func(n int) string
+}
+
+// repeatOp emits n dependent operations on accumulators v0..v3 to avoid a
+// single trivially-foldable chain.
+func repeatOp(n int, op func(acc string, i int) string) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		acc := fmt.Sprintf("v%d", i%4)
+		b.WriteString("    ")
+		b.WriteString(op(acc, i))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func intHeader(name string, n int) string {
+	return fmt.Sprintf(`__kernel void %s(__global int* data, int n) {
+    int gid = get_global_id(0);
+    int v0 = gid; int v1 = gid + n; int v2 = n; int v3 = 1;
+%s    data[gid] = v0 + v1 + v2 + v3;
+}`, name, bodyPlaceholder(n))
+}
+
+// bodyPlaceholder is replaced by the caller; kept to make templates obvious.
+func bodyPlaceholder(int) string { return "%BODY%" }
+
+func buildInt(kind string, stmt func(acc string, i int) string) func(int) string {
+	return func(n int) string {
+		name := kernelName(kind, n)
+		src := intHeader(name, n)
+		return strings.Replace(src, "%BODY%", repeatOp(n, stmt), 1)
+	}
+}
+
+func floatHeader(name string) string {
+	return fmt.Sprintf(`__kernel void %s(__global float* data, int n) {
+    int gid = get_global_id(0);
+    float v0 = data[gid];
+    float v1 = v0 + 1.0f; float v2 = v0 + 2.0f; float v3 = v0 + 3.0f;
+%s    data[gid] = v0 + v1 + v2 + v3;
+}`, name, "%BODY%")
+}
+
+func buildFloat(kind string, stmt func(acc string, i int) string) func(int) string {
+	return func(n int) string {
+		name := kernelName(kind, n)
+		return strings.Replace(floatHeader(name), "%BODY%", repeatOp(n, stmt), 1)
+	}
+}
+
+func kernelName(kind string, n int) string {
+	return strings.ReplaceAll(kind, "-", "_") + fmt.Sprintf("_%d", n)
+}
+
+// patterns covers each of the ten feature classes.
+func patterns() []pattern {
+	return []pattern{
+		{"b-int-add", buildInt("b-int-add", func(a string, i int) string {
+			return fmt.Sprintf("%s = %s + %d;", a, a, i+1)
+		})},
+		{"b-int-mul", buildInt("b-int-mul", func(a string, i int) string {
+			return fmt.Sprintf("%s = %s * %d;", a, a, i%7+3)
+		})},
+		{"b-int-div", buildInt("b-int-div", func(a string, i int) string {
+			return fmt.Sprintf("%s = %s / %d;", a, a, i%5+2)
+		})},
+		{"b-int-bw", buildInt("b-int-bw", func(a string, i int) string {
+			switch i % 3 {
+			case 0:
+				return fmt.Sprintf("%s = %s ^ %d;", a, a, i+1)
+			case 1:
+				return fmt.Sprintf("%s = %s << 1;", a, a)
+			default:
+				return fmt.Sprintf("%s = %s | %d;", a, a, i+1)
+			}
+		})},
+		{"b-float-add", buildFloat("b-float-add", func(a string, i int) string {
+			return fmt.Sprintf("%s = %s + %d.5f;", a, a, i+1)
+		})},
+		{"b-float-mul", buildFloat("b-float-mul", func(a string, i int) string {
+			return fmt.Sprintf("%s = %s * 1.00%df;", a, a, i%9+1)
+		})},
+		{"b-float-div", buildFloat("b-float-div", func(a string, i int) string {
+			return fmt.Sprintf("%s = %s / 1.00%df;", a, a, i%9+1)
+		})},
+		{"b-sf", buildFloat("b-sf", func(a string, i int) string {
+			fns := []string{"sin", "cos", "exp", "log", "sqrt", "rsqrt"}
+			return fmt.Sprintf("%s = %s(%s);", a, fns[i%len(fns)], a)
+		})},
+		{"b-gl-access", func(n int) string {
+			name := kernelName("b-gl-access", n)
+			var body strings.Builder
+			for i := 0; i < n; i++ {
+				// Alternate streaming loads and stores through the four
+				// precomputed strided indices: the access itself is the
+				// only per-line instruction.
+				if i%2 == 0 {
+					fmt.Fprintf(&body, "    acc = data[i%d];\n", i%4)
+				} else {
+					fmt.Fprintf(&body, "    out[i%d] = acc;\n", i%4)
+				}
+			}
+			return fmt.Sprintf(`__kernel void %s(__global float* data, __global float* out, int n) {
+    int gid = get_global_id(0);
+    int mask = n - 1;
+    int i0 = gid & mask;
+    int i1 = (gid + 4096) & mask;
+    int i2 = (gid + 8192) & mask;
+    int i3 = (gid + 12288) & mask;
+    float acc = 0.0f;
+%s    out[i0] = acc;
+}`, name, body.String())
+		}},
+		{"b-loc-access", func(n int) string {
+			name := kernelName("b-loc-access", n)
+			var body strings.Builder
+			for i := 0; i < n; i++ {
+				if i%2 == 0 {
+					fmt.Fprintf(&body, "    acc = tile[l%d];\n", i%4)
+				} else {
+					fmt.Fprintf(&body, "    tile[l%d] = acc;\n", i%4)
+				}
+			}
+			return fmt.Sprintf(`__kernel void %s(__global float* data, int n) {
+    __local float tile[256];
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    int l0 = lid & 255;
+    int l1 = (lid + 64) & 255;
+    int l2 = (lid + 128) & 255;
+    int l3 = (lid + 192) & 255;
+    tile[l0] = data[gid];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float acc = 0.0f;
+%s    data[gid] = acc;
+}`, name, body.String())
+		}},
+	}
+}
+
+// mixed emits the sixteen mixed-feature kernels: deterministic combinations
+// sweeping the compute/memory balance and the int/float balance, so the
+// training set covers the interior of the feature space, not only its axes.
+func mixed() []Benchmark {
+	var out []Benchmark
+	for i := 0; i < 16; i++ {
+		fa := 4 + 12*(i%4)    // float add/mul chain length
+		ia := 2 + 6*((i/4)%4) // int ops
+		gl := 1 + i%5         // extra global accesses
+		sf := i % 3           // special functions
+		name := fmt.Sprintf("b-mix-%02d", i)
+		kname := fmt.Sprintf("b_mix_%02d", i)
+		var body strings.Builder
+		for k := 0; k < fa; k++ {
+			fmt.Fprintf(&body, "    f%d = f%d * 1.001f + 0.5f;\n", k%2, k%2)
+		}
+		for k := 0; k < ia; k++ {
+			switch k % 3 {
+			case 0:
+				fmt.Fprintf(&body, "    a = a + %d;\n", k+1)
+			case 1:
+				fmt.Fprintf(&body, "    a = a ^ %d;\n", k+1)
+			default:
+				fmt.Fprintf(&body, "    a = a * 3;\n")
+			}
+		}
+		for k := 0; k < gl; k++ {
+			fmt.Fprintf(&body, "    f0 += data[(gid + %d) & mask];\n", (k+1)*128)
+		}
+		for k := 0; k < sf; k++ {
+			fmt.Fprintf(&body, "    f1 = sqrt(f1 + 1.0f);\n")
+		}
+		src := fmt.Sprintf(`__kernel void %s(__global float* data, int n) {
+    int gid = get_global_id(0);
+    int mask = n - 1;
+    int a = gid;
+    float f0 = data[gid];
+    float f1 = 1.5f;
+%s    data[gid & mask] = f0 + f1 + (float)a;
+}`, kname, body.String())
+		out = append(out, Benchmark{
+			Name:       name,
+			Pattern:    "b-mix",
+			Intensity:  i,
+			Source:     src,
+			KernelName: kname,
+		})
+	}
+	return out
+}
+
+// Generate builds all 106 micro-benchmarks: 10 patterns × 9 intensities
+// plus 16 mixed kernels.
+func Generate() []Benchmark {
+	var out []Benchmark
+	for _, p := range patterns() {
+		for _, n := range Intensities {
+			out = append(out, Benchmark{
+				Name:       fmt.Sprintf("%s-%d", p.name, n),
+				Pattern:    p.name,
+				Intensity:  n,
+				Source:     p.gen(n),
+				KernelName: kernelName(p.name, n),
+			})
+		}
+	}
+	out = append(out, mixed()...)
+	return out
+}

@@ -1,0 +1,162 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clkernel"
+	"repro/internal/features"
+)
+
+func TestGenerateCount(t *testing.T) {
+	bs := Generate()
+	if len(bs) != 106 {
+		t.Fatalf("Generate() produced %d benchmarks, want 106 (paper, Section 3.3)", len(bs))
+	}
+	names := map[string]bool{}
+	for _, b := range bs {
+		if names[b.Name] {
+			t.Errorf("duplicate benchmark name %q", b.Name)
+		}
+		names[b.Name] = true
+	}
+}
+
+func TestAllSourcesParse(t *testing.T) {
+	for _, b := range Generate() {
+		b := b
+		prog, err := clkernel.Parse(b.Source)
+		if err != nil {
+			t.Errorf("%s: parse error: %v\nsource:\n%s", b.Name, err, b.Source)
+			continue
+		}
+		if prog.Kernel(b.KernelName) == nil {
+			t.Errorf("%s: kernel %q not found", b.Name, b.KernelName)
+		}
+	}
+}
+
+func TestPatternsStressTheirClass(t *testing.T) {
+	// For each single-class pattern at high intensity, the stressed feature
+	// must be the dominant component of the static feature vector.
+	classOf := map[string]int{
+		"b-int-add":    int(clkernel.OpIntAdd),
+		"b-int-mul":    int(clkernel.OpIntMul),
+		"b-int-div":    int(clkernel.OpIntDiv),
+		"b-int-bw":     int(clkernel.OpIntBitwise),
+		"b-float-add":  int(clkernel.OpFloatAdd),
+		"b-float-mul":  int(clkernel.OpFloatMul),
+		"b-float-div":  int(clkernel.OpFloatDiv),
+		"b-sf":         int(clkernel.OpSpecial),
+		"b-gl-access":  int(clkernel.OpGlobalAccess),
+		"b-loc-access": int(clkernel.OpLocalAccess),
+	}
+	for _, b := range Generate() {
+		want, ok := classOf[b.Pattern]
+		if !ok || b.Intensity < 256 {
+			continue
+		}
+		f := b.Features()
+		for i := range f {
+			if i != want && f[i] > f[want] {
+				t.Errorf("%s: feature %s (%.3f) exceeds stressed %s (%.3f)",
+					b.Name, features.Names[i], f[i], features.Names[want], f[want])
+			}
+		}
+		if f[want] < 0.5 {
+			t.Errorf("%s: stressed feature share %.3f, want > 0.5 at intensity 256",
+				b.Name, f[want])
+		}
+	}
+}
+
+func TestIntensityMonotone(t *testing.T) {
+	// Within a pattern, the stressed feature share must grow with
+	// intensity (that is the point of the intensity sweep).
+	byPattern := map[string][]Benchmark{}
+	for _, b := range Generate() {
+		byPattern[b.Pattern] = append(byPattern[b.Pattern], b)
+	}
+	fa := int(clkernel.OpFloatAdd)
+	seq := byPattern["b-float-add"]
+	if len(seq) != 9 {
+		t.Fatalf("b-float-add has %d codes, want 9", len(seq))
+	}
+	prev := -1.0
+	for _, b := range seq {
+		share := b.Features()[fa]
+		if share <= prev {
+			t.Errorf("%s: share %.4f not above previous %.4f", b.Name, share, prev)
+		}
+		prev = share
+	}
+}
+
+func TestProfilesUsable(t *testing.T) {
+	for _, b := range Generate() {
+		p := b.Profile()
+		if p.WorkItems <= 0 {
+			t.Errorf("%s: bad WorkItems", b.Name)
+		}
+		if p.Counts.Total() <= 0 {
+			t.Errorf("%s: empty counts", b.Name)
+		}
+		if p.Name != b.Name {
+			t.Errorf("%s: profile name %q", b.Name, p.Name)
+		}
+	}
+}
+
+func TestMemoryPatternsHaveTraffic(t *testing.T) {
+	for _, b := range Generate() {
+		if b.Pattern == "b-gl-access" && b.Intensity >= 16 {
+			p := b.Profile()
+			if p.Counts.GlobalBytes < float64(b.Intensity)*4*0.9 {
+				t.Errorf("%s: GlobalBytes = %.0f, want >= ~%d", b.Name,
+					p.Counts.GlobalBytes, b.Intensity*4)
+			}
+		}
+		if b.Pattern == "b-loc-access" && b.Intensity >= 16 {
+			p := b.Profile()
+			if p.Counts.LocalBytes <= 0 {
+				t.Errorf("%s: no local traffic", b.Name)
+			}
+		}
+	}
+}
+
+func TestMixedKernelsVaryFeatures(t *testing.T) {
+	var mixes []features.Static
+	for _, b := range Generate() {
+		if b.Pattern == "b-mix" {
+			mixes = append(mixes, b.Features())
+		}
+	}
+	if len(mixes) != 16 {
+		t.Fatalf("got %d mixed kernels, want 16", len(mixes))
+	}
+	distinct := map[features.Static]bool{}
+	for _, f := range mixes {
+		distinct[f] = true
+	}
+	if len(distinct) < 12 {
+		t.Errorf("only %d distinct mixed feature vectors of 16; poor space coverage", len(distinct))
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, b := Generate(), Generate()
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Source != b[i].Source {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+	}
+}
+
+func TestNamesMatchPatternConvention(t *testing.T) {
+	for _, b := range Generate() {
+		if !strings.HasPrefix(b.Name, b.Pattern) {
+			t.Errorf("name %q does not start with pattern %q", b.Name, b.Pattern)
+		}
+	}
+}
