@@ -13,18 +13,23 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/freq"
+	"repro/internal/gpu"
 	"repro/internal/measure"
+	"repro/internal/nvml"
 	"repro/internal/pareto"
 	"repro/internal/regress"
 	"repro/internal/svm"
@@ -374,4 +379,94 @@ func BenchmarkPredictionLatency(b *testing.B) {
 			b.Fatal("empty set")
 		}
 	}
+}
+
+// --- Engine ---
+
+// engineBenchOptions is the reduced training setup the engine benchmarks
+// share: full 106-kernel suite, 10 sampled settings per kernel.
+func engineBenchOptions(workers int) engine.Options {
+	return engine.Options{
+		Workers: workers,
+		Core:    core.Options{SettingsPerKernel: 10},
+	}
+}
+
+// BenchmarkEngineTrain measures end-to-end training (measurement sweep +
+// both SVR fits) through the sequential seed path and through the engine's
+// worker pool, so the concurrency speedup is tracked in the perf
+// trajectory.
+func BenchmarkEngineTrain(b *testing.B) {
+	kernels := engine.TrainingKernels()
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h := measure.NewHarness(nvml.NewDevice(gpu.TitanX()))
+			opts := core.Options{SettingsPerKernel: 10}
+			samples, err := core.BuildTrainingSet(h, kernels, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.Train(samples, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	workerCounts := []int{2, runtime.GOMAXPROCS(0)}
+	if workerCounts[1] == workerCounts[0] {
+		workerCounts = workerCounts[:1]
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("engine-%dworkers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := engine.NewDefault(engineBenchOptions(workers))
+				if _, err := eng.Train(context.Background(), kernels); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEnginePredictBatch measures batch Pareto prediction over the
+// twelve test benchmarks: cold (empty cache each iteration) vs warm (the
+// steady state of a serving process, where every vector hits the LRU).
+func BenchmarkEnginePredictBatch(b *testing.B) {
+	eng := engine.NewDefault(engineBenchOptions(0))
+	if _, err := eng.Train(context.Background(), engine.TrainingKernels()); err != nil {
+		b.Fatal(err)
+	}
+	models := eng.Models()
+	ladder := eng.Harness().Device().Sim().Ladder
+	sts := bench.AllFeatures()
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := engine.NewPredictor(models, ladder, engine.Options{CacheSize: -1})
+			sets, err := p.PredictBatch(context.Background(), sts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(sets) != len(sts) {
+				b.Fatal("short batch")
+			}
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		p := engine.NewPredictor(models, ladder, engine.Options{})
+		if _, err := p.PredictBatch(context.Background(), sts); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.PredictBatch(context.Background(), sts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		s := p.Stats()
+		b.ReportMetric(float64(s.Hits)/float64(s.Hits+s.Misses), "hit-rate")
+	})
 }

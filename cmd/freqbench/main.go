@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	freqbench [-exp fig1|fig4|fig5|fig6|fig7|fig8|table2|all] [-settings 40]
+//	freqbench [-exp fig1|fig4|fig5|fig6|fig7|fig8|table2|all] [-settings 40] [-workers 0]
 //
 // fig6/fig7/fig8/table2 train the models on the full 106-micro-benchmark
-// training set first (about a minute of CPU time).
+// training set first; training is sharded over the engine's worker pool.
 package main
 
 import (
@@ -15,15 +15,20 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig1, fig4, fig5, fig6, fig7, fig8, table2, p100, all")
 	settings := flag.Int("settings", 40, "sampled frequency settings per training kernel")
+	workers := flag.Int("workers", 0, "training/prediction worker pool size (0 = NumCPU)")
 	flag.Parse()
 
-	s := experiments.NewSuiteWithOptions(core.Options{SettingsPerKernel: *settings})
+	s := experiments.NewSuiteWithEngine(engine.NewDefault(engine.Options{
+		Workers: *workers,
+		Core:    core.Options{SettingsPerKernel: *settings},
+	}))
 	if err := run(s, *exp); err != nil {
 		fmt.Fprintln(os.Stderr, "freqbench:", err)
 		os.Exit(1)

@@ -8,21 +8,26 @@
 //
 //	gpufreq clocks [-device titanx|p100]
 //	gpufreq features <kernel.cl> [-kernel name]
-//	gpufreq train [-out models.json] [-settings 40]
-//	gpufreq predict <kernel.cl> [-model models.json] [-kernel name]
+//	gpufreq train [-out models.json] [-settings 40] [-workers 0]
+//	gpufreq predict <kernel.cl> [-model models.json] [-kernel name] [-workers 0]
 //	gpufreq characterize <benchmark>
+//
+// Training and prediction run through the concurrent engine
+// (internal/engine); -workers sizes its pool (0 = NumCPU). For a
+// long-running HTTP service over the same engine, see cmd/gpufreqd.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/bench"
 	"repro/internal/core"
-	"repro/internal/experiments"
+	"repro/internal/engine"
 	"repro/internal/features"
-	"repro/internal/freq"
 	"repro/internal/gpu"
 	"repro/internal/measure"
 	"repro/internal/nvml"
@@ -128,26 +133,42 @@ func cmdFeatures(args []string) error {
 	return nil
 }
 
-func trainModels(settings int) (*core.Models, error) {
-	h := measure.NewHarness(nvml.NewDevice(gpu.TitanX()))
-	opts := core.Options{SettingsPerKernel: settings}
-	samples, err := core.BuildTrainingSet(h, experiments.TrainingKernels(), opts)
+// newEngine builds the concurrent engine every train/predict path uses.
+func newEngine(settings, workers int) *engine.Engine {
+	return engine.NewDefault(engine.Options{
+		Workers: workers,
+		Core:    core.Options{SettingsPerKernel: settings},
+	})
+}
+
+// interruptContext is cancelled on Ctrl-C, aborting in-flight training.
+func interruptContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt)
+}
+
+func trainEngine(ctx context.Context, eng *engine.Engine) (*core.Models, error) {
+	kernels := engine.TrainingKernels()
+	models, err := eng.Train(ctx, kernels)
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(os.Stderr, "trained on %d samples (%d micro-benchmarks)\n",
-		len(samples), len(experiments.TrainingKernels()))
-	return core.Train(samples, opts)
+	settings := core.TrainingSettings(eng.Harness(), eng.Options().Core)
+	fmt.Fprintf(os.Stderr, "trained on %d samples (%d micro-benchmarks, %d workers)\n",
+		len(kernels)*len(settings), len(kernels), eng.Options().Workers)
+	return models, nil
 }
 
 func cmdTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	out := fs.String("out", "models.json", "output path for the trained models")
 	settings := fs.Int("settings", 40, "sampled frequency settings per micro-benchmark")
+	workers := fs.Int("workers", 0, "training worker pool size (0 = NumCPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	models, err := trainModels(*settings)
+	ctx, stop := interruptContext()
+	defer stop()
+	models, err := trainEngine(ctx, newEngine(*settings, *workers))
 	if err != nil {
 		return err
 	}
@@ -164,6 +185,7 @@ func cmdPredict(args []string) error {
 	modelPath := fs.String("model", "", "trained models file (default: train in-process)")
 	kernel := fs.String("kernel", "", "kernel name (default: first kernel)")
 	settings := fs.Int("settings", 40, "training settings when no model file is given")
+	workers := fs.Int("workers", 0, "worker pool size (0 = NumCPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -174,16 +196,24 @@ func cmdPredict(args []string) error {
 	if err != nil {
 		return err
 	}
-	var models *core.Models
+	eng := newEngine(*settings, *workers)
 	if *modelPath != "" {
-		models, err = core.LoadFile(*modelPath)
+		models, err := core.LoadFile(*modelPath)
+		if err != nil {
+			return err
+		}
+		eng.SetModels(models)
 	} else {
-		models, err = trainModels(*settings)
+		ctx, stop := interruptContext()
+		defer stop()
+		if _, err := trainEngine(ctx, eng); err != nil {
+			return err
+		}
 	}
+	pred, err := eng.Predictor()
 	if err != nil {
 		return err
 	}
-	pred := core.NewPredictor(models, freq.TitanX())
 	set, err := pred.PredictSource(string(src), *kernel)
 	if err != nil {
 		return err

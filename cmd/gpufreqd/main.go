@@ -1,0 +1,296 @@
+// Command gpufreqd is the long-running service entry point of the
+// frequency-scaling prediction framework: an HTTP server that trains the
+// speedup/energy models through the concurrent engine and serves
+// Pareto-optimal frequency predictions for OpenCL kernels as JSON.
+//
+// Endpoints:
+//
+//	GET  /healthz   liveness, model status, cache counters
+//	POST /train     (re)train the models; body: {"settings": 40}
+//	POST /predict   predict Pareto sets; body: {"kernels": [{"source": "...", "kernel": "..."}]}
+//	                or a single {"source": "...", "kernel": "..."}
+//
+// Usage:
+//
+//	gpufreqd [-addr :8080] [-workers 0] [-settings 40] [-model models.json] [-train-on-start]
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests. A training run is cancelled when its client disconnects.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/features"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+	settings := flag.Int("settings", 40, "sampled frequency settings per training kernel")
+	modelPath := flag.String("model", "", "load pre-trained models from this file instead of training")
+	trainOnStart := flag.Bool("train-on-start", false, "train the models before accepting traffic")
+	flag.Parse()
+
+	srv := newServer(engine.NewDefault(engine.Options{
+		Workers: *workers,
+		Core:    core.Options{SettingsPerKernel: *settings},
+	}))
+
+	if *modelPath != "" {
+		models, err := core.LoadFile(*modelPath)
+		if err != nil {
+			log.Fatalf("gpufreqd: loading %s: %v", *modelPath, err)
+		}
+		srv.engine.SetModels(models)
+		log.Printf("loaded models from %s (speedup: %d SVs, energy: %d SVs)",
+			*modelPath, models.Speedup.NumSV(), models.Energy.NumSV())
+	} else if *trainOnStart {
+		log.Printf("training on the full synthetic suite (%d workers)...", srv.engine.Options().Workers)
+		start := time.Now()
+		models, err := srv.engine.TrainDefault(context.Background())
+		if err != nil {
+			log.Fatalf("gpufreqd: training: %v", err)
+		}
+		log.Printf("trained in %v (speedup: %d SVs, energy: %d SVs)",
+			time.Since(start).Round(time.Millisecond), models.Speedup.NumSV(), models.Energy.NumSV())
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("gpufreqd listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("gpufreqd: %v", err)
+	case <-ctx.Done():
+		log.Print("shutdown signal received, draining connections...")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Fatalf("gpufreqd: shutdown: %v", err)
+		}
+		log.Print("bye")
+	}
+}
+
+// server holds the HTTP layer's state: the engine and request bookkeeping.
+type server struct {
+	engine *engine.Engine
+	mux    *http.ServeMux
+	start  time.Time
+
+	trainMu sync.Mutex // serializes training runs
+}
+
+func newServer(e *engine.Engine) *server {
+	s := &server{engine: e, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/train", s.handleTrain)
+	s.mux.HandleFunc("/predict", s.handlePredict)
+	return s
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+type healthResponse struct {
+	Status        string             `json:"status"`
+	Trained       bool               `json:"trained"`
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	Workers       int                `json:"workers"`
+	Cache         *engine.CacheStats `json:"cache,omitempty"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	resp := healthResponse{
+		Status:        "ok",
+		Trained:       s.engine.Trained(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       s.engine.Options().Workers,
+	}
+	if p, err := s.engine.Predictor(); err == nil {
+		st := p.Stats()
+		resp.Cache = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type trainRequest struct {
+	// Settings overrides the per-kernel sampled settings for this run only
+	// (0 = the server's configured default).
+	Settings int `json:"settings"`
+}
+
+type trainResponse struct {
+	Samples    int     `json:"samples"`
+	Kernels    int     `json:"kernels"`
+	DurationMS float64 `json:"duration_ms"`
+	SpeedupSVs int     `json:"speedup_svs"`
+	EnergySVs  int     `json:"energy_svs"`
+}
+
+func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req trainRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+	}
+	if !s.trainMu.TryLock() {
+		writeError(w, http.StatusConflict, "a training run is already in progress")
+		return
+	}
+	defer s.trainMu.Unlock()
+
+	eng := s.engine
+	if req.Settings > 0 {
+		opts := eng.Options()
+		opts.Core.SettingsPerKernel = req.Settings
+		eng = engine.New(eng.Harness(), opts)
+	}
+
+	kernels := engine.TrainingKernels()
+	start := time.Now()
+	samples, err := eng.BuildTrainingSet(r.Context(), kernels)
+	if err != nil {
+		trainError(w, err)
+		return
+	}
+	models, err := eng.Fit(r.Context(), samples)
+	if err != nil {
+		trainError(w, err)
+		return
+	}
+	// Install on the server's engine regardless of per-run overrides.
+	s.engine.SetModels(models)
+	writeJSON(w, http.StatusOK, trainResponse{
+		Samples:    len(samples),
+		Kernels:    len(kernels),
+		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
+		SpeedupSVs: models.Speedup.NumSV(),
+		EnergySVs:  models.Energy.NumSV(),
+	})
+}
+
+func trainError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.Canceled) {
+		// Client went away mid-run; 499 in nginx convention.
+		writeError(w, 499, "training cancelled: %v", err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "training failed: %v", err)
+}
+
+type predictKernel struct {
+	// Source is the OpenCL source containing the kernel.
+	Source string `json:"source"`
+	// Kernel names the kernel function ("" = first kernel in Source).
+	Kernel string `json:"kernel"`
+}
+
+type predictRequest struct {
+	Kernels []predictKernel `json:"kernels"`
+	// Single-kernel shorthand, accepted at the top level.
+	Source string `json:"source"`
+	Kernel string `json:"kernel"`
+}
+
+type predictResult struct {
+	Kernel string            `json:"kernel"`
+	Pareto []core.Prediction `json:"pareto"`
+	Error  string            `json:"error,omitempty"`
+}
+
+type predictResponse struct {
+	Results []predictResult   `json:"results"`
+	Cache   engine.CacheStats `json:"cache"`
+}
+
+func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	kernels := req.Kernels
+	if req.Source != "" {
+		kernels = append(kernels, predictKernel{Source: req.Source, Kernel: req.Kernel})
+	}
+	if len(kernels) == 0 {
+		writeError(w, http.StatusBadRequest, "no kernels in request")
+		return
+	}
+	p, err := s.engine.Predictor()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+
+	results := make([]predictResult, len(kernels))
+	batch := make([]int, 0, len(kernels)) // indices with valid features
+	sts := make([]features.Static, 0, len(kernels))
+	for i, k := range kernels {
+		results[i].Kernel = k.Kernel
+		st, err := features.ExtractSource(k.Source, k.Kernel)
+		if err != nil {
+			results[i].Error = err.Error()
+			continue
+		}
+		batch = append(batch, i)
+		sts = append(sts, st)
+	}
+	if len(batch) > 0 {
+		sets, err := p.PredictBatch(r.Context(), sts)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "predict: %v", err)
+			return
+		}
+		for j, i := range batch {
+			results[i].Pareto = sets[j]
+		}
+	}
+	writeJSON(w, http.StatusOK, predictResponse{Results: results, Cache: p.Stats()})
+}

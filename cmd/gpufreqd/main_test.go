@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+const saxpy = `__kernel void saxpy(__global const float* x, __global float* y, float a, int n) {
+	int i = get_global_id(0);
+	if (i < n) y[i] = a * x[i] + y[i];
+}`
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	return newServer(engine.NewDefault(engine.Options{
+		Workers: 4,
+		Core:    core.Options{SettingsPerKernel: 4},
+	}))
+}
+
+func get(t *testing.T, s *server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+func post(t *testing.T, s *server, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, strings.NewReader(body)))
+	return rec
+}
+
+func TestHealthzUntrained(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var h healthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Trained || h.Cache != nil {
+		t.Fatalf("unexpected health: %+v", h)
+	}
+	if h.Workers != 4 {
+		t.Fatalf("workers = %d, want 4", h.Workers)
+	}
+}
+
+func TestPredictBeforeTraining(t *testing.T) {
+	s := testServer(t)
+	rec := post(t, s, "/predict", `{"source": "x", "kernel": "k"}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+}
+
+func TestTrainPredictHealthzCycle(t *testing.T) {
+	s := testServer(t)
+
+	rec := post(t, s, "/train", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("train status %d: %s", rec.Code, rec.Body)
+	}
+	var tr trainResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Kernels != 106 || tr.Samples == 0 || tr.SpeedupSVs == 0 || tr.EnergySVs == 0 {
+		t.Fatalf("unexpected train response: %+v", tr)
+	}
+
+	// Batch predict: two kernels, one of them twice so the cache hits.
+	body := `{"kernels": [
+		{"source": ` + jsonStr(saxpy) + `, "kernel": "saxpy"},
+		{"source": ` + jsonStr(saxpy) + `, "kernel": "saxpy"},
+		{"source": "not opencl", "kernel": "nope"}
+	]}`
+	rec = post(t, s, "/predict", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("predict status %d: %s", rec.Code, rec.Body)
+	}
+	var pr predictResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(pr.Results))
+	}
+	if len(pr.Results[0].Pareto) == 0 || len(pr.Results[1].Pareto) == 0 {
+		t.Fatalf("empty Pareto sets: %+v", pr.Results[:2])
+	}
+	if pr.Results[2].Error == "" || pr.Results[2].Pareto != nil {
+		t.Fatalf("bad source did not error: %+v", pr.Results[2])
+	}
+	if last := pr.Results[0].Pareto[len(pr.Results[0].Pareto)-1]; !last.MemLHeuristic {
+		t.Fatalf("last prediction is not the mem-L heuristic: %+v", last)
+	}
+	if pr.Cache.Hits == 0 {
+		t.Fatalf("duplicate kernel produced no cache hits: %+v", pr.Cache)
+	}
+
+	// Health now reports the trained model and cache counters.
+	var h healthResponse
+	if err := json.Unmarshal(get(t, s, "/healthz").Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Trained || h.Cache == nil || h.Cache.Entries == 0 {
+		t.Fatalf("health after training: %+v", h)
+	}
+}
+
+func TestTrainSettingsOverride(t *testing.T) {
+	s := testServer(t)
+	rec := post(t, s, "/train", `{"settings": 12}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("train status %d: %s", rec.Code, rec.Body)
+	}
+	var tr trainResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	// The server default (4 settings) clamps to the ladder minimum of 9
+	// sampled configs per kernel; an override of 12 must sample more.
+	if tr.Samples <= 106*9 {
+		t.Fatalf("override ignored: %d samples", tr.Samples)
+	}
+	if !s.engine.Trained() {
+		t.Fatal("models not installed after override run")
+	}
+}
+
+func TestMethodGuards(t *testing.T) {
+	s := testServer(t)
+	if rec := post(t, s, "/healthz", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /healthz = %d", rec.Code)
+	}
+	if rec := get(t, s, "/train"); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /train = %d", rec.Code)
+	}
+	if rec := get(t, s, "/predict"); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /predict = %d", rec.Code)
+	}
+	if rec := post(t, s, "/predict", `{}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty predict = %d", rec.Code)
+	}
+}
+
+func jsonStr(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

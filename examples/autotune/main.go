@@ -9,15 +9,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 
 	"repro/internal/core"
-	"repro/internal/experiments"
+	"repro/internal/engine"
 	"repro/internal/gpu"
-	"repro/internal/measure"
-	"repro/internal/nvml"
 )
 
 // A 7-point stencil smoother: moderately memory-bound, unseen in training.
@@ -40,19 +39,17 @@ __kernel void smooth7(__global const float* in, __global float* out,
 }`
 
 func main() {
-	device := nvml.NewDevice(gpu.TitanX())
-	harness := measure.NewHarness(device)
+	eng := engine.NewDefault(engine.Options{Core: core.Options{SettingsPerKernel: 16}})
+	harness := eng.Harness()
+	device := harness.Device()
 
-	opts := core.Options{SettingsPerKernel: 16}
-	samples, err := core.BuildTrainingSet(harness, experiments.TrainingKernels(), opts)
+	if _, err := eng.TrainDefault(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	predictor, err := eng.Predictor()
 	if err != nil {
 		log.Fatal(err)
 	}
-	models, err := core.Train(samples, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	predictor := core.NewPredictor(models, device.Sim().Ladder)
 
 	set, err := predictor.PredictSource(stencil, "smooth7")
 	if err != nil {

@@ -12,9 +12,7 @@ import (
 	"log"
 
 	"repro/internal/bench"
-	"repro/internal/gpu"
-	"repro/internal/measure"
-	"repro/internal/nvml"
+	"repro/internal/engine"
 	"repro/internal/pareto"
 )
 
@@ -33,7 +31,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	harness := measure.NewHarness(nvml.NewDevice(gpu.TitanX()))
+	harness := engine.NewDefault(engine.Options{}).Harness()
 	ladder := harness.Device().Sim().Ladder
 
 	rels, err := harness.Sweep(b.Profile())

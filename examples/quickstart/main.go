@@ -5,15 +5,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/core"
-	"repro/internal/experiments"
-	"repro/internal/freq"
-	"repro/internal/gpu"
-	"repro/internal/measure"
-	"repro/internal/nvml"
+	"repro/internal/engine"
 )
 
 const saxpy = `
@@ -26,29 +23,32 @@ __kernel void saxpy(__global const float* x, __global float* y,
 }`
 
 func main() {
-	// 1. A simulated GTX Titan X behind the NVML management API.
-	device := nvml.NewDevice(gpu.TitanX())
-	harness := measure.NewHarness(device)
+	// 1. The concurrent engine over a simulated GTX Titan X behind the
+	// NVML management API.
+	eng := engine.NewDefault(engine.Options{
+		// SettingsPerKernel: 40 reproduces the paper; 16 keeps this
+		// example fast. Workers defaults to NumCPU: the 106
+		// micro-benchmarks are measured in parallel.
+		Core: core.Options{SettingsPerKernel: 16},
+	})
+	device := eng.Harness().Device()
 	fmt.Printf("device: %s (default %v)\n\n", device.Name(), device.Sim().Ladder.Default())
 
-	// 2. Training phase: run the synthetic micro-benchmarks at sampled
-	// frequency settings and fit the speedup + energy SVR models.
-	// (SettingsPerKernel: 40 reproduces the paper; 16 keeps this example
-	// fast.)
-	opts := core.Options{SettingsPerKernel: 16}
-	samples, err := core.BuildTrainingSet(harness, experiments.TrainingKernels(), opts)
+	// 2. Training phase: the engine shards the micro-benchmark
+	// measurements across its worker pool and fits the speedup + energy
+	// SVR models concurrently.
+	models, err := eng.TrainDefault(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	models, err := core.Train(samples, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("trained on %d samples: speedup model %d SVs, energy model %d SVs\n\n",
-		len(samples), models.Speedup.NumSV(), models.Energy.NumSV())
+	fmt.Printf("trained with %d workers: speedup model %d SVs, energy model %d SVs\n\n",
+		eng.Options().Workers, models.Speedup.NumSV(), models.Energy.NumSV())
 
 	// 3. Prediction phase: static features only — the kernel never runs.
-	predictor := core.NewPredictor(models, freq.TitanX())
+	predictor, err := eng.Predictor()
+	if err != nil {
+		log.Fatal(err)
+	}
 	set, err := predictor.PredictSource(saxpy, "saxpy")
 	if err != nil {
 		log.Fatal(err)

@@ -11,32 +11,28 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 
 	"repro/internal/bench"
 	"repro/internal/core"
-	"repro/internal/experiments"
-	"repro/internal/gpu"
-	"repro/internal/measure"
-	"repro/internal/nvml"
+	"repro/internal/engine"
 )
 
 func main() {
-	device := nvml.NewDevice(gpu.TitanX())
-	harness := measure.NewHarness(device)
+	eng := engine.NewDefault(engine.Options{Core: core.Options{SettingsPerKernel: 16}})
+	harness := eng.Harness()
+	device := harness.Device()
 
-	opts := core.Options{SettingsPerKernel: 16}
-	samples, err := core.BuildTrainingSet(harness, experiments.TrainingKernels(), opts)
+	if _, err := eng.TrainDefault(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	predictor, err := eng.Predictor()
 	if err != nil {
 		log.Fatal(err)
 	}
-	models, err := core.Train(samples, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	predictor := core.NewPredictor(models, device.Sim().Ladder)
 
 	// The batch: a mix of compute- and memory-dominated jobs.
 	queue := []string{"MatrixMultiply", "MT", "k-NN", "Blackscholes", "Convolution", "AES"}

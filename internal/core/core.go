@@ -43,7 +43,8 @@ type Options struct {
 	Params svm.Params
 }
 
-func (o Options) withDefaults() Options {
+// WithDefaults resolves zero values to the paper's setup.
+func (o Options) WithDefaults() Options {
 	if o.SettingsPerKernel <= 0 {
 		o.SettingsPerKernel = 40
 	}
@@ -81,32 +82,54 @@ type TrainingKernel struct {
 	Profile  gpu.KernelProfile
 }
 
+// SampleKernel executes one training kernel at the given frequency settings
+// and returns its supervised samples (the per-kernel unit of training-phase
+// steps 1–4 of Fig. 2). It is the shared primitive under BuildTrainingSet
+// and the engine's worker pool: each call measures a baseline first, then
+// every setting, on whatever harness it is handed.
+func SampleKernel(h *measure.Harness, k TrainingKernel, settings []freq.Config) ([]Sample, error) {
+	base, err := h.Baseline(k.Profile)
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline for %s: %w", k.Name, err)
+	}
+	out := make([]Sample, 0, len(settings))
+	for _, cfg := range settings {
+		rel, err := h.MeasureRelative(k.Profile, cfg, base)
+		if err != nil {
+			return nil, fmt.Errorf("core: measuring %s at %v: %w", k.Name, cfg, err)
+		}
+		out = append(out, Sample{
+			Kernel:     k.Name,
+			Config:     rel.Config,
+			Vector:     features.Combine(k.Features, rel.Config),
+			Speedup:    rel.Speedup,
+			NormEnergy: rel.NormEnergy,
+		})
+	}
+	return out, nil
+}
+
+// TrainingSettings returns the sampled frequency settings used per
+// micro-benchmark for the harness's device.
+func TrainingSettings(h *measure.Harness, opt Options) []freq.Config {
+	opt = opt.WithDefaults()
+	return h.Device().Sim().Ladder.TrainingSample(opt.SettingsPerKernel)
+}
+
 // BuildTrainingSet executes every training kernel at the sampled frequency
 // settings and assembles the supervised training set (training-phase steps
-// 1–4 of Fig. 2).
+// 1–4 of Fig. 2). This is the sequential reference path; the concurrent
+// engine (internal/engine) shards the same SampleKernel unit across a
+// worker pool.
 func BuildTrainingSet(h *measure.Harness, kernels []TrainingKernel, opt Options) ([]Sample, error) {
-	opt = opt.withDefaults()
-	ladder := h.Device().Sim().Ladder
-	settings := ladder.TrainingSample(opt.SettingsPerKernel)
+	settings := TrainingSettings(h, opt)
 	var out []Sample
 	for _, k := range kernels {
-		base, err := h.Baseline(k.Profile)
+		ks, err := SampleKernel(h, k, settings)
 		if err != nil {
-			return nil, fmt.Errorf("core: baseline for %s: %w", k.Name, err)
+			return nil, err
 		}
-		for _, cfg := range settings {
-			rel, err := h.MeasureRelative(k.Profile, cfg, base)
-			if err != nil {
-				return nil, fmt.Errorf("core: measuring %s at %v: %w", k.Name, cfg, err)
-			}
-			out = append(out, Sample{
-				Kernel:     k.Name,
-				Config:     rel.Config,
-				Vector:     features.Combine(k.Features, rel.Config),
-				Speedup:    rel.Speedup,
-				NormEnergy: rel.NormEnergy,
-			})
-		}
+		out = append(out, ks...)
 	}
 	return out, nil
 }
@@ -120,7 +143,7 @@ type Models struct {
 // Train fits the speedup and normalized-energy SVR models on the training
 // set (training-phase steps 5–6 of Fig. 2).
 func Train(samples []Sample, opt Options) (*Models, error) {
-	opt = opt.withDefaults()
+	opt = opt.WithDefaults()
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("core: empty training set")
 	}
@@ -165,10 +188,10 @@ func NewPredictor(m *Models, ladder *freq.Ladder) *Predictor {
 	return &Predictor{Models: m, Ladder: ladder}
 }
 
-// modeledMems returns the memory clocks the models are applied to during
+// ModeledMems returns the memory clocks the models are applied to during
 // Pareto prediction: all but the lowest (mem-L is excluded and handled by
 // the heuristic; Section 4.5).
-func (p *Predictor) modeledMems() []freq.MHz {
+func (p *Predictor) ModeledMems() []freq.MHz {
 	mems := p.Ladder.MemClocks()
 	if len(mems) <= 1 {
 		return mems
@@ -191,7 +214,7 @@ func (p *Predictor) PredictConfig(st features.Static, cfg freq.Config) Predictio
 // the given memory clocks (nil = the modeled clocks: all but mem-L).
 func (p *Predictor) PredictAll(st features.Static, mems []freq.MHz) []Prediction {
 	if mems == nil {
-		mems = p.modeledMems()
+		mems = p.ModeledMems()
 	}
 	var out []Prediction
 	for _, m := range mems {
@@ -215,19 +238,44 @@ func (p *Predictor) ParetoSet(st features.Static) []Prediction {
 // Lowest-memory-clock candidates are excluded from modeling, as in
 // ParetoSet, and replaced by the mem-L heuristic configuration.
 func (p *Predictor) ParetoSetOver(st features.Static, cfgs []freq.Config) []Prediction {
-	mems := p.Ladder.MemClocks()
-	low := mems[len(mems)-1]
 	var preds []Prediction
-	for _, cfg := range cfgs {
-		if len(mems) > 1 && cfg.Mem == low {
-			continue
-		}
+	for _, cfg := range ExcludeMemL(p.Ladder, cfgs) {
 		preds = append(preds, p.PredictConfig(st, cfg))
 	}
 	return p.paretoOf(st, preds)
 }
 
+// ExcludeMemL drops lowest-memory-clock candidates when the ladder has more
+// than one memory clock — those configurations are handled by the mem-L
+// heuristic rather than the models (Section 4.5).
+func ExcludeMemL(ladder *freq.Ladder, cfgs []freq.Config) []freq.Config {
+	mems := ladder.MemClocks()
+	if len(mems) <= 1 {
+		return cfgs
+	}
+	low := mems[len(mems)-1]
+	out := make([]freq.Config, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		if cfg.Mem == low {
+			continue
+		}
+		out = append(out, cfg)
+	}
+	return out
+}
+
 func (p *Predictor) paretoOf(st features.Static, preds []Prediction) []Prediction {
+	out := ParetoFront(preds)
+	if heur, ok := p.MemLHeuristic(st); ok {
+		out = append(out, heur)
+	}
+	return out
+}
+
+// ParetoFront filters predictions down to the Pareto-optimal subset
+// (Algorithm 1 applied to predicted objectives). Input order is preserved
+// among the survivors.
+func ParetoFront(preds []Prediction) []Prediction {
 	pts := make([]pareto.Point, len(preds))
 	for i, pr := range preds {
 		pts[i] = pareto.Point{Speedup: pr.Speedup, Energy: pr.NormEnergy, ID: i}
@@ -237,27 +285,34 @@ func (p *Predictor) paretoOf(st features.Static, preds []Prediction) []Predictio
 	for _, f := range front {
 		out = append(out, preds[f.ID])
 	}
-	if heur, ok := p.memLHeuristic(st); ok {
-		out = append(out, heur)
-	}
 	return out
 }
 
-// memLHeuristic returns the highest-core configuration of the lowest memory
+// MemLHeuristicConfig returns the configuration the mem-L rule appends: the
+// highest-core configuration of the lowest memory clock. ok is false when
+// the ladder has a single memory clock (e.g. the P100).
+func MemLHeuristicConfig(ladder *freq.Ladder) (freq.Config, bool) {
+	mems := ladder.MemClocks()
+	if len(mems) <= 1 {
+		return freq.Config{}, false
+	}
+	low := mems[len(mems)-1]
+	cores := ladder.CoreClocks(low)
+	if len(cores) == 0 {
+		return freq.Config{}, false
+	}
+	return freq.Config{Mem: low, Core: cores[len(cores)-1]}, true
+}
+
+// MemLHeuristic returns the highest-core configuration of the lowest memory
 // clock, flagged as heuristic, with model-extrapolated objective values
 // attached for reference. ok is false when the ladder has a single memory
 // clock (e.g. the P100).
-func (p *Predictor) memLHeuristic(st features.Static) (Prediction, bool) {
-	mems := p.Ladder.MemClocks()
-	if len(mems) <= 1 {
+func (p *Predictor) MemLHeuristic(st features.Static) (Prediction, bool) {
+	cfg, ok := MemLHeuristicConfig(p.Ladder)
+	if !ok {
 		return Prediction{}, false
 	}
-	low := mems[len(mems)-1]
-	cores := p.Ladder.CoreClocks(low)
-	if len(cores) == 0 {
-		return Prediction{}, false
-	}
-	cfg := freq.Config{Mem: low, Core: cores[len(cores)-1]}
 	pr := p.PredictConfig(st, cfg)
 	pr.MemLHeuristic = true
 	return pr, true

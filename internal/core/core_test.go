@@ -280,7 +280,7 @@ func TestTrainValidation(t *testing.T) {
 }
 
 func TestOptionsDefaults(t *testing.T) {
-	o := Options{}.withDefaults()
+	o := Options{}.WithDefaults()
 	if o.SettingsPerKernel != 40 {
 		t.Errorf("SettingsPerKernel = %d, want 40", o.SettingsPerKernel)
 	}

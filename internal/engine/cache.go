@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/features"
+)
+
+// cacheVal is a cached pair of model outputs for one combined input vector.
+type cacheVal struct {
+	speedup float64
+	energy  float64
+}
+
+// predCache is a mutex-guarded LRU cache of SVR evaluations keyed on the
+// combined (static-features, configuration) model input vector — the exact
+// input both models consume, so a hit is valid for any request that maps to
+// the same vector regardless of which kernel or sweep produced it.
+type predCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[features.Vector]*list.Element
+	l   *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	k features.Vector
+	v cacheVal
+}
+
+func newPredCache(capacity int) *predCache {
+	return &predCache{
+		cap: capacity,
+		m:   make(map[features.Vector]*list.Element, capacity),
+		l:   list.New(),
+	}
+}
+
+// get returns the cached value for k, marking it most recently used.
+func (c *predCache) get(k features.Vector) (cacheVal, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[k]
+	if !ok {
+		return cacheVal{}, false
+	}
+	c.l.MoveToFront(el)
+	return el.Value.(*cacheEntry).v, true
+}
+
+// put inserts or refreshes k, evicting the least recently used entry when
+// the cache is full.
+func (c *predCache) put(k features.Vector, v cacheVal) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		el.Value.(*cacheEntry).v = v
+		c.l.MoveToFront(el)
+		return
+	}
+	if c.l.Len() >= c.cap {
+		oldest := c.l.Back()
+		if oldest != nil {
+			c.l.Remove(oldest)
+			delete(c.m, oldest.Value.(*cacheEntry).k)
+		}
+	}
+	c.m[k] = c.l.PushFront(&cacheEntry{k: k, v: v})
+}
+
+// len returns the current entry count.
+func (c *predCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.l.Len()
+}

@@ -63,18 +63,18 @@ func (s *Suite) predictionErrors() (speedupErrs, energyErrs map[freq.MHz]map[str
 	if err != nil {
 		return nil, nil, err
 	}
-	ladder := s.harness.Device().Sim().Ladder
+	ladder := s.Harness().Device().Sim().Ladder
 	settings := ladder.TrainingSample(40)
 	speedupErrs = map[freq.MHz]map[string][]float64{}
 	energyErrs = map[freq.MHz]map[string][]float64{}
 	for _, b := range bench.All() {
 		st := b.Features()
-		base, err := s.harness.Baseline(b.Profile())
+		base, err := s.Harness().Baseline(b.Profile())
 		if err != nil {
 			return nil, nil, err
 		}
 		for _, cfg := range settings {
-			rel, err := s.harness.MeasureRelative(b.Profile(), cfg, base)
+			rel, err := s.Harness().MeasureRelative(b.Profile(), cfg, base)
 			if err != nil {
 				return nil, nil, err
 			}

@@ -87,7 +87,7 @@ type Fig4Row struct {
 // Titan X (a) and the Tesla P100 (b).
 func (s *Suite) Fig4() []Fig4Row {
 	var out []Fig4Row
-	for _, dev := range []*freq.Ladder{s.harness.Device().Sim().Ladder, freq.P100()} {
+	for _, dev := range []*freq.Ladder{s.Harness().Device().Sim().Ladder, freq.P100()} {
 		for _, m := range dev.MemClocks() {
 			actual := dev.CoreClocks(m)
 			actualSet := map[freq.MHz]bool{}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/freq"
 	"repro/internal/measure"
 	"repro/internal/pareto"
@@ -47,11 +48,11 @@ func (s *Suite) Fig8() ([]Fig8Data, error) {
 	return out, nil
 }
 
-func (s *Suite) fig8One(pred *core.Predictor, b *bench.Benchmark) (Fig8Data, error) {
+func (s *Suite) fig8One(pred *engine.Predictor, b *bench.Benchmark) (Fig8Data, error) {
 	// The paper evaluates predictions and the real front on the sampled
 	// configuration subset, not the exhaustive space (Section 4.5); this
 	// is what bounds |P*| to 6–14 and |P'| to 9–12 in Table 2.
-	ladder := s.harness.Device().Sim().Ladder
+	ladder := s.Harness().Device().Sim().Ladder
 	sampled := ladder.TrainingSample(40)
 	sampledSet := map[freq.Config]bool{}
 	for _, c := range sampled {

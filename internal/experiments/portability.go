@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gpu"
 	"repro/internal/measure"
 	"repro/internal/nvml"
@@ -37,15 +39,14 @@ func PortabilityP100(opts core.Options) (PortabilityResult, error) {
 	h := measure.NewHarness(nvml.NewDevice(gpu.P100()))
 	ladder := h.Device().Sim().Ladder
 
-	samples, err := core.BuildTrainingSet(h, TrainingKernels(), opts)
-	if err != nil {
-		return PortabilityResult{}, fmt.Errorf("experiments: P100 training set: %w", err)
-	}
-	models, err := core.Train(samples, opts)
-	if err != nil {
+	eng := engine.New(h, engine.Options{Core: opts})
+	if _, err := eng.Train(context.Background(), TrainingKernels()); err != nil {
 		return PortabilityResult{}, fmt.Errorf("experiments: P100 training: %w", err)
 	}
-	pred := core.NewPredictor(models, ladder)
+	pred, err := eng.Predictor()
+	if err != nil {
+		return PortabilityResult{}, err
+	}
 
 	var sSum, eSum float64
 	var n int

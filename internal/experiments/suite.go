@@ -11,25 +11,23 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"repro/internal/bench"
 	"repro/internal/core"
-	"repro/internal/gpu"
+	"repro/internal/engine"
 	"repro/internal/measure"
-	"repro/internal/nvml"
-	"repro/internal/synth"
 )
 
-// Suite owns the simulated device, harness, and lazily trained models that
-// the experiments share.
+// Suite owns the concurrent engine (device, harness, lazily trained models,
+// cached predictor) that the experiments share. All training and prediction
+// flows through internal/engine, the same path the commands use.
 type Suite struct {
-	harness *measure.Harness
-	opts    core.Options
+	eng *engine.Engine
 
 	trainOnce sync.Once
-	models    *core.Models
 	trainErr  error
 
 	sweepMu sync.Mutex
@@ -45,51 +43,49 @@ func NewSuite() *Suite {
 // NewSuiteWithOptions builds a suite with custom training options (used by
 // the ablation benchmarks and fast tests).
 func NewSuiteWithOptions(opts core.Options) *Suite {
-	return &Suite{
-		harness: measure.NewHarness(nvml.NewDevice(gpu.TitanX())),
-		opts:    opts,
-		sweeps:  map[string][]measure.Relative{},
-	}
+	return NewSuiteWithEngine(engine.NewDefault(engine.Options{Core: opts}))
+}
+
+// NewSuiteWithEngine builds a suite over an existing engine (used to control
+// worker counts or reuse an already trained engine).
+func NewSuiteWithEngine(e *engine.Engine) *Suite {
+	return &Suite{eng: e, sweeps: map[string][]measure.Relative{}}
 }
 
 // Harness exposes the measurement harness.
-func (s *Suite) Harness() *measure.Harness { return s.harness }
+func (s *Suite) Harness() *measure.Harness { return s.eng.Harness() }
+
+// Engine exposes the suite's engine.
+func (s *Suite) Engine() *engine.Engine { return s.eng }
 
 // TrainingKernels adapts the 106 synthetic micro-benchmarks.
 func TrainingKernels() []core.TrainingKernel {
-	bs := synth.Generate()
-	out := make([]core.TrainingKernel, len(bs))
-	for i := range bs {
-		out[i] = core.TrainingKernel{
-			Name:     bs[i].Name,
-			Features: bs[i].Features(),
-			Profile:  bs[i].Profile(),
-		}
-	}
-	return out
+	return engine.TrainingKernels()
 }
 
 // Models trains (once) the speedup and energy models on the full synthetic
-// training set.
+// training set via the engine's worker pool.
 func (s *Suite) Models() (*core.Models, error) {
 	s.trainOnce.Do(func() {
-		samples, err := core.BuildTrainingSet(s.harness, TrainingKernels(), s.opts)
-		if err != nil {
-			s.trainErr = fmt.Errorf("experiments: building training set: %w", err)
-			return
+		if s.eng.Trained() {
+			return // engine arrived pre-trained
 		}
-		s.models, s.trainErr = core.Train(samples, s.opts)
+		if _, err := s.eng.TrainDefault(context.Background()); err != nil {
+			s.trainErr = fmt.Errorf("experiments: training: %w", err)
+		}
 	})
-	return s.models, s.trainErr
+	if s.trainErr != nil {
+		return nil, s.trainErr
+	}
+	return s.eng.Models(), nil
 }
 
-// Predictor returns a predictor over the suite's device ladder.
-func (s *Suite) Predictor() (*core.Predictor, error) {
-	m, err := s.Models()
-	if err != nil {
+// Predictor returns the engine's cached concurrent predictor.
+func (s *Suite) Predictor() (*engine.Predictor, error) {
+	if _, err := s.Models(); err != nil {
 		return nil, err
 	}
-	return core.NewPredictor(m, s.harness.Device().Sim().Ladder), nil
+	return s.eng.Predictor()
 }
 
 // Sweep measures (once) the full configuration sweep of a test benchmark.
@@ -103,7 +99,7 @@ func (s *Suite) Sweep(name string) ([]measure.Relative, error) {
 	if err != nil {
 		return nil, err
 	}
-	rels, err := s.harness.Sweep(b.Profile())
+	rels, err := s.Harness().Sweep(b.Profile())
 	if err != nil {
 		return nil, fmt.Errorf("experiments: sweeping %s: %w", name, err)
 	}

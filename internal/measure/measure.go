@@ -48,6 +48,23 @@ func NewHarness(dev *nvml.Device) *Harness {
 // Device returns the underlying NVML device handle.
 func (h *Harness) Device() *nvml.Device { return h.dev }
 
+// Clone returns an independent harness over a fresh NVML handle to the same
+// simulated device model, preserving the measurement settings. Clones share
+// no mutable state, so each can measure concurrently with the original; each
+// clone also restarts the device's deterministic sensor-noise stream, making
+// per-clone measurement sequences reproducible regardless of what other
+// clones do.
+func (h *Harness) Clone() *Harness {
+	dev := nvml.NewDevice(h.dev.Sim())
+	dev.SetAutoBoostedClocksEnabled(false)
+	return &Harness{
+		dev:          dev,
+		MinRunSec:    h.MinRunSec,
+		MinReps:      h.MinReps,
+		TimingJitter: h.TimingJitter,
+	}
+}
+
 // Measurement is the outcome of measuring one kernel at one configuration.
 type Measurement struct {
 	// Config is the configuration actually applied (after clamping).

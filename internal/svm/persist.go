@@ -65,6 +65,7 @@ func Load(r io.Reader) (*Model, error) {
 	default:
 		return nil, fmt.Errorf("svm: unknown kernel type %q", mj.Kernel.Type)
 	}
+	m.finalize()
 	return m, nil
 }
 

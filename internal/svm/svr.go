@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 )
 
 // Params configures ε-SVR training. The paper uses C = 1000, ε = 0.1 for
@@ -30,6 +32,43 @@ type Model struct {
 	// Iters and Converged describe the training run.
 	Iters     int
 	Converged bool
+
+	// Prediction fast paths, derived once by finalize: linear models
+	// collapse their support-vector expansion into one weight vector; RBF
+	// models precompute ‖sv‖² so every kernel evaluation reduces to a dot
+	// product (‖a−b‖² = ‖a‖² + ‖b‖² − 2 a·b).
+	linWeights []float64
+	svNorms    []float64
+}
+
+// finalize derives the kernel-specific prediction fast paths. Train and
+// Load call it on every constructed model.
+func (m *Model) finalize() {
+	switch k := m.kernel.(type) {
+	case Linear:
+		if len(m.SupportVectors) == 0 {
+			return
+		}
+		w := make([]float64, len(m.SupportVectors[0]))
+		for i, sv := range m.SupportVectors {
+			c := m.Coefs[i]
+			for j, v := range sv {
+				w[j] += c * v
+			}
+		}
+		m.linWeights = w
+	case RBF:
+		_ = k
+		norms := make([]float64, len(m.SupportVectors))
+		for i, sv := range m.SupportVectors {
+			s := 0.0
+			for _, v := range sv {
+				s += v * v
+			}
+			norms[i] = s
+		}
+		m.svNorms = norms
+	}
 }
 
 // Kernel returns the kernel the model was trained with.
@@ -37,6 +76,16 @@ func (m *Model) Kernel() Kernel { return m.kernel }
 
 // Predict evaluates the regression function at x.
 func (m *Model) Predict(x []float64) float64 {
+	if m.linWeights != nil {
+		s := m.B
+		for j, w := range m.linWeights {
+			s += w * x[j]
+		}
+		return s
+	}
+	if m.svNorms != nil {
+		return m.predictRBF(x)
+	}
 	s := m.B
 	for i, sv := range m.SupportVectors {
 		s += m.Coefs[i] * m.kernel.Eval(sv, x)
@@ -44,12 +93,66 @@ func (m *Model) Predict(x []float64) float64 {
 	return s
 }
 
-// PredictBatch evaluates the model at every row of xs.
+// predictRBF evaluates an RBF model reusing the precomputed support-vector
+// norms; ‖x‖² is computed once and shared across all support vectors.
+func (m *Model) predictRBF(x []float64) float64 {
+	gamma := m.kernel.(RBF).Gamma
+	xn := 0.0
+	for _, v := range x {
+		xn += v * v
+	}
+	s := m.B
+	for i, sv := range m.SupportVectors {
+		dot := 0.0
+		for j, v := range sv {
+			dot += v * x[j]
+		}
+		d := m.svNorms[i] + xn - 2*dot
+		if d < 0 {
+			d = 0 // guard against rounding below zero
+		}
+		s += m.Coefs[i] * math.Exp(-gamma*d)
+	}
+	return s
+}
+
+// parallelBatchMin is the batch size above which PredictBatch shards rows
+// across GOMAXPROCS goroutines. Below it the spawn overhead dominates the
+// per-row kernel expansion cost.
+const parallelBatchMin = 256
+
+// PredictBatch evaluates the model at every row of xs, sharding large
+// batches across GOMAXPROCS workers. Rows reuse the kernel-specific fast
+// paths prepared by finalize, so batch prediction never recomputes
+// per-support-vector quantities.
 func (m *Model) PredictBatch(xs [][]float64) []float64 {
 	out := make([]float64, len(xs))
-	for i, x := range xs {
-		out[i] = m.Predict(x)
+	workers := runtime.GOMAXPROCS(0)
+	if len(xs) < parallelBatchMin || workers <= 1 {
+		for i, x := range xs {
+			out[i] = m.Predict(x)
+		}
+		return out
 	}
+	if workers > len(xs) {
+		workers = len(xs)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(xs) + workers - 1) / workers
+	for lo := 0; lo < len(xs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = m.Predict(xs[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 	return out
 }
 
@@ -109,6 +212,7 @@ func Train(xs [][]float64, ys []float64, k Kernel, p Params) (*Model, error) {
 		}
 	}
 	m.B = s.offset()
+	m.finalize()
 	return m, nil
 }
 
