@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	freqbench [-exp fig1|fig4|fig5|fig6|fig7|fig8|table2|all] [-settings 40] [-workers 0]
+//	freqbench [-exp fig1|fig4|fig5|fig6|fig7|fig8|table2|policy|p100|all] [-settings 40] [-workers 0]
 //
-// fig6/fig7/fig8/table2 train the models on the full 106-micro-benchmark
-// training set first; training is sharded over the engine's worker pool.
+// fig6/fig7/fig8/table2/policy train the models on the full
+// 106-micro-benchmark training set first; training is sharded over the
+// engine's worker pool. policy evaluates every built-in frequency-selection
+// policy against the measured oracle on both GPU profiles.
 package main
 
 import (
@@ -20,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1, fig4, fig5, fig6, fig7, fig8, table2, p100, all")
+	exp := flag.String("exp", "all", "experiment: fig1, fig4, fig5, fig6, fig7, fig8, table2, policy, p100, all")
 	settings := flag.Int("settings", 40, "sampled frequency settings per training kernel")
 	workers := flag.Int("workers", 0, "training/prediction worker pool size (0 = NumCPU)")
 	flag.Parse()
@@ -76,14 +78,20 @@ func run(s *experiments.Suite, exp string) error {
 			return err
 		}
 		experiments.RenderTable2(w, rows)
+	case "policy":
+		tables, err := experiments.PolicyEval(s.Engine().Options())
+		if err != nil {
+			return err
+		}
+		experiments.RenderPolicyEval(w, tables)
 	case "p100":
-		r, err := experiments.PortabilityP100(core.Options{SettingsPerKernel: 40})
+		r, err := experiments.PortabilityP100(s.Engine().Options().Core)
 		if err != nil {
 			return err
 		}
 		experiments.RenderPortability(w, r)
 	case "all":
-		for _, e := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "table2"} {
+		for _, e := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "table2", "policy"} {
 			if err := run(s, e); err != nil {
 				return err
 			}

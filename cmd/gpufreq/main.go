@@ -4,17 +4,21 @@
 // models on the synthetic micro-benchmarks, and predicts Pareto-optimal
 // frequency configurations for new kernels without executing them.
 //
-// Usage:
+// Usage (flags come before the positional argument):
 //
 //	gpufreq clocks [-device titanx|p100]
-//	gpufreq features <kernel.cl> [-kernel name]
+//	gpufreq features [-kernel name] <kernel.cl>
 //	gpufreq train [-out models.json] [-settings 40] [-workers 0]
-//	gpufreq predict <kernel.cl> [-model models.json] [-kernel name] [-workers 0]
+//	gpufreq predict [-model models.json] [-kernel name] [-workers 0] <kernel.cl>
+//	gpufreq select [-policy min-energy] [-max-slowdown 0.1] [-energy-budget 1.0]
+//	               [-device titanx|p100] [-model models.json] [-kernel name] <kernel.cl>
+//	gpufreq select -list
 //	gpufreq characterize <benchmark>
 //
-// Training and prediction run through the concurrent engine
-// (internal/engine); -workers sizes its pool (0 = NumCPU). For a
-// long-running HTTP service over the same engine, see cmd/gpufreqd.
+// Training, prediction and policy selection run through the concurrent
+// engine (internal/engine) and the policy governor (internal/policy);
+// -workers sizes the engine pool (0 = NumCPU). For a long-running HTTP
+// service over the same engine, see cmd/gpufreqd.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -31,6 +36,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/measure"
 	"repro/internal/nvml"
+	"repro/internal/policy"
 )
 
 func main() {
@@ -48,6 +54,8 @@ func main() {
 		err = cmdTrain(os.Args[2:])
 	case "predict":
 		err = cmdPredict(os.Args[2:])
+	case "select":
+		err = cmdSelect(os.Args[2:])
 	case "characterize":
 		err = cmdCharacterize(os.Args[2:])
 	case "-h", "--help", "help":
@@ -71,19 +79,15 @@ Commands:
   features      extract the static code features of an OpenCL kernel
   train         train the speedup and energy models on the 106 micro-benchmarks
   predict       predict the Pareto-optimal frequency settings of a kernel
+  select        resolve a named policy to one chosen frequency configuration
   characterize  measure a built-in test benchmark across all configurations
+
+Flags come before the positional argument, e.g.:
+  gpufreq predict -model models.json kernel.cl
 `)
 }
 
-func device(name string) (*gpu.Device, error) {
-	switch name {
-	case "titanx", "":
-		return gpu.TitanX(), nil
-	case "p100":
-		return gpu.P100(), nil
-	}
-	return nil, fmt.Errorf("unknown device %q (titanx, p100)", name)
-}
+func device(name string) (*gpu.Device, error) { return gpu.ByName(name) }
 
 func cmdClocks(args []string) error {
 	fs := flag.NewFlagSet("clocks", flag.ExitOnError)
@@ -117,7 +121,7 @@ func cmdFeatures(args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: gpufreq features <kernel.cl> [-kernel name]")
+		return fmt.Errorf("usage: gpufreq features [-kernel name] <kernel.cl>")
 	}
 	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -190,7 +194,7 @@ func cmdPredict(args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: gpufreq predict <kernel.cl> [-model models.json]")
+		return fmt.Errorf("usage: gpufreq predict [-model models.json] <kernel.cl>")
 	}
 	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -228,6 +232,101 @@ func cmdPredict(args []string) error {
 		fmt.Printf("%-12s %10.3f %12.3f%s\n", p.Config, p.Speedup, p.NormEnergy, tag)
 	}
 	return nil
+}
+
+func cmdSelect(args []string) error {
+	fs := flag.NewFlagSet("select", flag.ExitOnError)
+	policyName := fs.String("policy", policy.MinEnergy, "policy: min-energy, max-perf, edp, ed2p or balanced")
+	maxSlowdown := fs.Float64("max-slowdown", 0, "min-energy cap: maximum predicted slowdown fraction (0 = default 0.10)")
+	energyBudget := fs.Float64("energy-budget", 0, "max-perf cap: maximum predicted normalized energy (0 = default 1.0)")
+	includeHeuristic := fs.Bool("include-heuristic", false, "admit the mem-L heuristic configuration as a candidate")
+	dev := fs.String("device", "titanx", "device model: titanx or p100")
+	modelPath := fs.String("model", "", "trained models file (default: train in-process)")
+	kernel := fs.String("kernel", "", "kernel name (default: first kernel)")
+	settings := fs.Int("settings", 40, "training settings when no model file is given")
+	workers := fs.Int("workers", 0, "worker pool size (0 = NumCPU)")
+	list := fs.Bool("list", false, "list the built-in policies and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, info := range policy.Builtins() {
+			fmt.Printf("%-11s %s\n", info.Name, info.Description)
+			for param, doc := range info.Params {
+				fmt.Printf("              -%s: %s\n", flagFor(param), doc)
+			}
+		}
+		return nil
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: gpufreq select [-policy name] [-model models.json] <kernel.cl>")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	d, err := device(*dev)
+	if err != nil {
+		return err
+	}
+	spec := policy.Spec{
+		Name:             *policyName,
+		MaxSlowdown:      *maxSlowdown,
+		EnergyBudget:     *energyBudget,
+		IncludeHeuristic: *includeHeuristic,
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+
+	eng := engine.New(measure.NewHarness(nvml.NewDevice(d)), engine.Options{
+		Workers: *workers,
+		Core:    core.Options{SettingsPerKernel: *settings},
+	})
+	if *modelPath != "" {
+		models, err := core.LoadFile(*modelPath)
+		if err != nil {
+			return err
+		}
+		eng.SetModels(models)
+	} else {
+		ctx, stop := interruptContext()
+		defer stop()
+		if _, err := trainEngine(ctx, eng); err != nil {
+			return err
+		}
+	}
+	pred, err := eng.Predictor()
+	if err != nil {
+		return err
+	}
+	gov := policy.NewGovernor(pred, 0)
+	decision, err := gov.DecideSource(string(src), *kernel, spec)
+	if err != nil {
+		return err
+	}
+
+	resolved := decision.Policy
+	fmt.Printf("device:  %s\n", d.Name)
+	fmt.Printf("policy:  %s", resolved.Name)
+	switch resolved.Name {
+	case policy.MinEnergy:
+		fmt.Printf(" (speedup >= %.3f)", resolved.SpeedupFloor())
+	case policy.MaxPerf:
+		fmt.Printf(" (normalized energy <= %.3f)", resolved.EnergyBudget)
+	}
+	fmt.Printf("\nchosen:  %v  (from %d Pareto candidates)\n", decision.Chosen.Config, decision.Candidates)
+	fmt.Printf("  predicted speedup:           %.3f\n", decision.Chosen.Speedup)
+	fmt.Printf("  predicted normalized energy: %.3f\n", decision.Chosen.NormEnergy)
+	if !decision.Feasible {
+		fmt.Printf("  constraint infeasible: %s\n", decision.Fallback)
+	}
+	return nil
+}
+
+// flagFor maps a policy spec JSON parameter to its CLI flag spelling.
+func flagFor(param string) string {
+	return strings.ReplaceAll(param, "_", "-")
 }
 
 func cmdCharacterize(args []string) error {

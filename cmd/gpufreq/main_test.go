@@ -1,10 +1,31 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/measure"
+	"repro/internal/nvml"
 )
+
+// newEngineOn builds a small-training engine for the named device.
+func newEngineOn(t *testing.T, name string) *engine.Engine {
+	t.Helper()
+	d, err := device(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine.New(measure.NewHarness(nvml.NewDevice(d)), engine.Options{
+		Workers: 4,
+		Core:    core.Options{SettingsPerKernel: 4},
+	})
+}
+
+func contextForTest() context.Context { return context.Background() }
 
 func TestDeviceSelection(t *testing.T) {
 	for _, name := range []string{"", "titanx", "p100"} {
@@ -55,6 +76,68 @@ func TestCmdFeatures(t *testing.T) {
 	}
 	if err := cmdFeatures(nil); err == nil {
 		t.Error("cmdFeatures without args should fail")
+	}
+}
+
+func TestCmdSelectList(t *testing.T) {
+	if err := cmdSelect([]string{"-list"}); err != nil {
+		t.Errorf("select -list: %v", err)
+	}
+}
+
+func TestCmdSelectValidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "k.cl")
+	src := `__kernel void k(__global float* o, float x) { o[0] = x * x; }`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSelect(nil); err == nil {
+		t.Error("select without args should fail")
+	}
+	if err := cmdSelect([]string{"-policy", "max-vibes", path}); err == nil {
+		t.Error("select with unknown policy should fail")
+	}
+	if err := cmdSelect([]string{"-device", "rtx5090", path}); err == nil {
+		t.Error("select with unknown device should fail")
+	}
+	if err := cmdSelect([]string{"-model", filepath.Join(dir, "absent.json"), path}); err == nil {
+		t.Error("select with absent model file should fail")
+	}
+}
+
+// TestCmdSelectEndToEnd trains a tiny model once, persists it, then runs
+// select against the file for every built-in policy on both devices.
+func TestCmdSelectEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	kpath := filepath.Join(dir, "k.cl")
+	src := `__kernel void k(__global const float* a, __global float* o, int n) {
+		int i = get_global_id(0);
+		if (i < n) o[i] = a[i] * 2.0f;
+	}`
+	if err := os.WriteFile(kpath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, dev := range []string{"titanx", "p100"} {
+		mpath := filepath.Join(dir, dev+".json")
+		eng := newEngineOn(t, dev)
+		if _, err := eng.TrainDefault(contextForTest()); err != nil {
+			t.Fatal(err)
+		}
+		models := eng.Models()
+		if err := models.SaveFile(mpath); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"min-energy", "max-perf", "edp", "ed2p", "balanced"} {
+			args := []string{"-policy", name, "-device", dev, "-model", mpath, kpath}
+			if err := cmdSelect(args); err != nil {
+				t.Errorf("select %s on %s: %v", name, dev, err)
+			}
+		}
+	}
+	// The no-model branch trains in-process before deciding.
+	if err := cmdSelect([]string{"-settings", "4", "-workers", "4", kpath}); err != nil {
+		t.Errorf("select with in-process training: %v", err)
 	}
 }
 

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestAPIDocsCoverRoutes keeps docs/API.md honest: every route the server
+// actually registers must be mentioned there. CI runs this as part of the
+// docs job, so adding an endpoint without documenting it fails the build.
+func TestAPIDocsCoverRoutes(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatalf("reading docs/API.md: %v", err)
+	}
+	s := newServer(engine.NewDefault(engine.Options{}))
+	if len(s.routes) == 0 {
+		t.Fatal("server registered no routes")
+	}
+	for _, route := range s.routes {
+		if !strings.Contains(string(doc), "`"+route+"`") {
+			t.Errorf("docs/API.md does not document route %s", route)
+		}
+	}
+}

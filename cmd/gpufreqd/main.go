@@ -3,16 +3,20 @@
 // speedup/energy models through the concurrent engine and serves
 // Pareto-optimal frequency predictions for OpenCL kernels as JSON.
 //
-// Endpoints:
+// Endpoints (documented in detail in docs/API.md):
 //
-//	GET  /healthz   liveness, model status, cache counters
+//	GET  /healthz   liveness, device, model status, cache counters
 //	POST /train     (re)train the models; body: {"settings": 40}
 //	POST /predict   predict Pareto sets; body: {"kernels": [{"source": "...", "kernel": "..."}]}
 //	                or a single {"source": "...", "kernel": "..."}
+//	POST /select    resolve a policy to one chosen configuration; body adds
+//	                {"policy": {"name": "min-energy", ...}} to a /predict body
+//	GET  /policies  list the built-in policies and their parameters
 //
 // Usage:
 //
-//	gpufreqd [-addr :8080] [-workers 0] [-settings 40] [-model models.json] [-train-on-start]
+//	gpufreqd [-addr :8080] [-device titanx|p100] [-workers 0] [-settings 40]
+//	         [-model models.json] [-train-on-start]
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests. A training run is cancelled when its client disconnects.
@@ -35,17 +39,26 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/features"
+	"repro/internal/gpu"
+	"repro/internal/measure"
+	"repro/internal/nvml"
+	"repro/internal/policy"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	deviceName := flag.String("device", "titanx", "GPU profile to serve: titanx or p100")
 	workers := flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
 	settings := flag.Int("settings", 40, "sampled frequency settings per training kernel")
 	modelPath := flag.String("model", "", "load pre-trained models from this file instead of training")
 	trainOnStart := flag.Bool("train-on-start", false, "train the models before accepting traffic")
 	flag.Parse()
 
-	srv := newServer(engine.NewDefault(engine.Options{
+	dev, err := device(*deviceName)
+	if err != nil {
+		log.Fatalf("gpufreqd: %v", err)
+	}
+	srv := newServer(engine.New(measure.NewHarness(nvml.NewDevice(dev)), engine.Options{
 		Workers: *workers,
 		Core:    core.Options{SettingsPerKernel: *settings},
 	}))
@@ -94,21 +107,53 @@ func main() {
 	}
 }
 
+// device resolves a GPU profile name.
+func device(name string) (*gpu.Device, error) { return gpu.ByName(name) }
+
 // server holds the HTTP layer's state: the engine and request bookkeeping.
 type server struct {
 	engine *engine.Engine
 	mux    *http.ServeMux
+	routes []string // registered patterns, for introspection and docs checks
 	start  time.Time
 
 	trainMu sync.Mutex // serializes training runs
+
+	govMu sync.Mutex
+	gov   *policy.Governor // bound to the predictor it was built over
 }
 
 func newServer(e *engine.Engine) *server {
 	s := &server{engine: e, mux: http.NewServeMux(), start: time.Now()}
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/train", s.handleTrain)
-	s.mux.HandleFunc("/predict", s.handlePredict)
+	s.handle("/healthz", s.handleHealthz)
+	s.handle("/train", s.handleTrain)
+	s.handle("/predict", s.handlePredict)
+	s.handle("/select", s.handleSelect)
+	s.handle("/policies", s.handlePolicies)
 	return s
+}
+
+// handle registers a route, recording its pattern so tests can verify the
+// documented API surface matches the served one.
+func (s *server) handle(pattern string, h http.HandlerFunc) {
+	s.routes = append(s.routes, pattern)
+	s.mux.HandleFunc(pattern, h)
+}
+
+// governor returns a policy governor over the engine's current predictor,
+// rebuilding it (and thus dropping cached decisions) whenever retraining
+// has installed a new predictor.
+func (s *server) governor() (*policy.Governor, error) {
+	p, err := s.engine.Predictor()
+	if err != nil {
+		return nil, err
+	}
+	s.govMu.Lock()
+	defer s.govMu.Unlock()
+	if s.gov == nil || s.gov.Predictor() != p {
+		s.gov = policy.NewGovernor(p, 0)
+	}
+	return s.gov, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -125,6 +170,7 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 type healthResponse struct {
 	Status        string             `json:"status"`
+	Device        string             `json:"device"`
 	Trained       bool               `json:"trained"`
 	UptimeSeconds float64            `json:"uptime_seconds"`
 	Workers       int                `json:"workers"`
@@ -138,6 +184,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := healthResponse{
 		Status:        "ok",
+		Device:        s.engine.Harness().Device().Sim().Name,
 		Trained:       s.engine.Trained(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Workers:       s.engine.Options().Workers,
@@ -293,4 +340,83 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, predictResponse{Results: results, Cache: p.Stats()})
+}
+
+type selectRequest struct {
+	// Policy names the objective and its parameters; see GET /policies.
+	Policy policy.Spec `json:"policy"`
+	// Kernels is the batch form; Source/Kernel the single-kernel shorthand,
+	// exactly as on /predict.
+	Kernels []predictKernel `json:"kernels"`
+	Source  string          `json:"source"`
+	Kernel  string          `json:"kernel"`
+}
+
+type selectResult struct {
+	Kernel   string           `json:"kernel"`
+	Decision *policy.Decision `json:"decision,omitempty"`
+	Error    string           `json:"error,omitempty"`
+}
+
+type selectResponse struct {
+	// Policy is the resolved spec (defaults applied) every decision used.
+	Policy  policy.Spec    `json:"policy"`
+	Results []selectResult `json:"results"`
+	// Cache reports the governor's per-policy decision cache, not the
+	// engine's SVR cache (that one is on /healthz and /predict).
+	Cache policy.Stats `json:"cache"`
+}
+
+func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req selectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	spec := req.Policy.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	kernels := req.Kernels
+	if req.Source != "" {
+		kernels = append(kernels, predictKernel{Source: req.Source, Kernel: req.Kernel})
+	}
+	if len(kernels) == 0 {
+		writeError(w, http.StatusBadRequest, "no kernels in request")
+		return
+	}
+	gov, err := s.governor()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+
+	results := make([]selectResult, len(kernels))
+	for i, k := range kernels {
+		results[i].Kernel = k.Kernel
+		d, err := gov.DecideSource(k.Source, k.Kernel, spec)
+		if err != nil {
+			results[i].Error = err.Error()
+			continue
+		}
+		results[i].Decision = &d
+	}
+	writeJSON(w, http.StatusOK, selectResponse{Policy: spec, Results: results, Cache: gov.Stats()})
+}
+
+type policiesResponse struct {
+	Policies []policy.Info `json:"policies"`
+}
+
+func (s *server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, policiesResponse{Policies: policy.Builtins()})
 }

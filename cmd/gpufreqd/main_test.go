@@ -9,6 +9,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/measure"
+	"repro/internal/nvml"
+	"repro/internal/policy"
 )
 
 const saxpy = `__kernel void saxpy(__global const float* x, __global float* y, float a, int n) {
@@ -19,6 +22,20 @@ const saxpy = `__kernel void saxpy(__global const float* x, __global float* y, f
 func testServer(t *testing.T) *server {
 	t.Helper()
 	return newServer(engine.NewDefault(engine.Options{
+		Workers: 4,
+		Core:    core.Options{SettingsPerKernel: 4},
+	}))
+}
+
+// testServerOn builds a server over a small engine for the named GPU
+// profile ("titanx" or "p100").
+func testServerOn(t *testing.T, name string) *server {
+	t.Helper()
+	dev, err := device(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(engine.New(measure.NewHarness(nvml.NewDevice(dev)), engine.Options{
 		Workers: 4,
 		Core:    core.Options{SettingsPerKernel: 4},
 	}))
@@ -139,6 +156,162 @@ func TestTrainSettingsOverride(t *testing.T) {
 	}
 }
 
+func TestPoliciesEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/policies")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var pr policiesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Policies) != len(policy.Builtins()) {
+		t.Fatalf("policies = %d, want %d", len(pr.Policies), len(policy.Builtins()))
+	}
+	for _, p := range pr.Policies {
+		if p.Name == "" || p.Description == "" {
+			t.Fatalf("incomplete policy info: %+v", p)
+		}
+	}
+}
+
+// TestSelectEveryPolicyBothProfiles is the acceptance check: POST /select
+// returns a policy-consistent configuration for every built-in policy on
+// both GPU profiles.
+func TestSelectEveryPolicyBothProfiles(t *testing.T) {
+	for _, devName := range []string{"titanx", "p100"} {
+		s := testServerOn(t, devName)
+		if rec := post(t, s, "/train", ""); rec.Code != http.StatusOK {
+			t.Fatalf("%s train status %d: %s", devName, rec.Code, rec.Body)
+		}
+		ladder := s.engine.Harness().Device().Sim().Ladder
+		for _, info := range policy.Builtins() {
+			body := `{"policy": {"name": "` + info.Name + `"}, "source": ` + jsonStr(saxpy) + `, "kernel": "saxpy"}`
+			rec := post(t, s, "/select", body)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("%s/%s select status %d: %s", devName, info.Name, rec.Code, rec.Body)
+			}
+			var sr selectResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+				t.Fatal(err)
+			}
+			if sr.Policy.Name != info.Name || sr.Policy.MaxSlowdown == 0 || sr.Policy.EnergyBudget == 0 {
+				t.Fatalf("%s/%s: unresolved policy in response: %+v", devName, info.Name, sr.Policy)
+			}
+			if len(sr.Results) != 1 || sr.Results[0].Error != "" || sr.Results[0].Decision == nil {
+				t.Fatalf("%s/%s: bad results: %+v", devName, info.Name, sr.Results)
+			}
+			d := sr.Results[0].Decision
+			if !ladder.Supported(d.Chosen.Config) {
+				t.Errorf("%s/%s chose %v: not a ladder configuration", devName, info.Name, d.Chosen.Config)
+			}
+			if d.Feasible {
+				switch info.Name {
+				case policy.MinEnergy:
+					if d.Chosen.Speedup < sr.Policy.SpeedupFloor() {
+						t.Errorf("%s min-energy speedup %.3f below floor", devName, d.Chosen.Speedup)
+					}
+				case policy.MaxPerf:
+					if d.Chosen.NormEnergy > sr.Policy.EnergyBudget {
+						t.Errorf("%s max-perf energy %.3f above budget", devName, d.Chosen.NormEnergy)
+					}
+				}
+			} else if d.Fallback == "" {
+				t.Errorf("%s/%s infeasible without fallback note", devName, info.Name)
+			}
+		}
+	}
+}
+
+func TestSelectInfeasibleFallback(t *testing.T) {
+	s := testServer(t)
+	if rec := post(t, s, "/train", ""); rec.Code != http.StatusOK {
+		t.Fatalf("train status %d: %s", rec.Code, rec.Body)
+	}
+	// Demand a predicted speedup ≥ 1.5: no clock delivers that, so the
+	// documented fallback (maximum-speedup configuration) must kick in.
+	body := `{"policy": {"name": "min-energy", "max_slowdown": -0.5}, "source": ` + jsonStr(saxpy) + `}`
+	rec := post(t, s, "/select", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("select status %d: %s", rec.Code, rec.Body)
+	}
+	var sr selectResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	d := sr.Results[0].Decision
+	if d == nil || d.Feasible || d.Fallback == "" {
+		t.Fatalf("expected documented infeasible fallback, got %+v", sr.Results[0])
+	}
+}
+
+func TestSelectCachesDecisions(t *testing.T) {
+	s := testServer(t)
+	if rec := post(t, s, "/train", ""); rec.Code != http.StatusOK {
+		t.Fatalf("train status %d: %s", rec.Code, rec.Body)
+	}
+	body := `{"policy": {"name": "edp"}, "kernels": [
+		{"source": ` + jsonStr(saxpy) + `, "kernel": "saxpy"},
+		{"source": ` + jsonStr(saxpy) + `, "kernel": "saxpy"}
+	]}`
+	rec := post(t, s, "/select", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("select status %d: %s", rec.Code, rec.Body)
+	}
+	var sr selectResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Cache.Hits == 0 {
+		t.Fatalf("duplicate kernel+policy produced no decision-cache hits: %+v", sr.Cache)
+	}
+	// Retraining installs a new predictor; the governor (and its cached
+	// decisions) must be rebuilt rather than served stale.
+	if rec := post(t, s, "/train", ""); rec.Code != http.StatusOK {
+		t.Fatalf("retrain status %d: %s", rec.Code, rec.Body)
+	}
+	rec = post(t, s, "/select", `{"policy": {"name": "edp"}, "source": `+jsonStr(saxpy)+`}`)
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Cache.Hits != 0 || sr.Cache.Misses != 1 {
+		t.Fatalf("governor not rebuilt after retraining: %+v", sr.Cache)
+	}
+}
+
+func TestSelectValidation(t *testing.T) {
+	s := testServer(t)
+	if rec := post(t, s, "/select", `{"policy": {"name": "edp"}, "source": "x"}`); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("select before training = %d, want 503", rec.Code)
+	}
+	// A missing policy name is a 400 even before training: the request is
+	// malformed regardless of model state.
+	if rec := post(t, s, "/select", `{"source": "x"}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("select without policy = %d, want 400", rec.Code)
+	}
+	if rec := post(t, s, "/train", ""); rec.Code != http.StatusOK {
+		t.Fatalf("train status %d: %s", rec.Code, rec.Body)
+	}
+	if rec := post(t, s, "/select", `{"policy": {"name": "max-vibes"}, "source": "x"}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown policy = %d, want 400", rec.Code)
+	}
+	if rec := post(t, s, "/select", `{"policy": {"name": "edp"}}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("no kernels = %d, want 400", rec.Code)
+	}
+	rec := post(t, s, "/select", `{"policy": {"name": "edp"}, "source": "not opencl"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("bad source select = %d: %s", rec.Code, rec.Body)
+	}
+	var sr selectResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Results[0].Error == "" || sr.Results[0].Decision != nil {
+		t.Fatalf("bad source did not error per-kernel: %+v", sr.Results[0])
+	}
+}
+
 func TestMethodGuards(t *testing.T) {
 	s := testServer(t)
 	if rec := post(t, s, "/healthz", ""); rec.Code != http.StatusMethodNotAllowed {
@@ -152,6 +325,12 @@ func TestMethodGuards(t *testing.T) {
 	}
 	if rec := post(t, s, "/predict", `{}`); rec.Code != http.StatusBadRequest {
 		t.Fatalf("empty predict = %d", rec.Code)
+	}
+	if rec := get(t, s, "/select"); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /select = %d", rec.Code)
+	}
+	if rec := post(t, s, "/policies", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /policies = %d", rec.Code)
 	}
 }
 

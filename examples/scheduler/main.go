@@ -1,31 +1,35 @@
-// Scheduler: an energy-aware batch scheduler built on top of the predictive
-// framework — the downstream system the paper's introduction motivates
+// Scheduler: an energy-aware batch scheduler built on top of the policy
+// governor — the downstream system the paper's introduction motivates
 // (large-scale compute clusters paying for energy).
 //
 // A queue of heterogeneous kernels is executed one after another on the
-// simulated GPU. Before each kernel launches, the scheduler predicts its
-// Pareto set from static features alone and applies, through the NVML API,
-// the predicted configuration that minimizes energy while keeping at least
-// 90% of default performance. The run is compared against the
-// fixed-default-clocks baseline.
+// simulated GPU. Before each kernel launches, the scheduler asks the
+// governor (internal/policy) for a frequency configuration under the
+// operator's named policy, applies it through the NVML API, and measures
+// the launch. The same batch is replayed under several policies — the
+// frugal default (min-energy at ≤10% slowdown), the energy-delay product,
+// and the Pareto knee — and each run is compared against the
+// fixed-default-clocks baseline, showing how one trained model serves many
+// operator intents.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
-	"math"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/measure"
+	"repro/internal/policy"
 )
+
+// The batch: a mix of compute- and memory-dominated jobs.
+var queue = []string{"MatrixMultiply", "MT", "k-NN", "Blackscholes", "Convolution", "AES"}
 
 func main() {
 	eng := engine.NewDefault(engine.Options{Core: core.Options{SettingsPerKernel: 16}})
-	harness := eng.Harness()
-	device := harness.Device()
-
 	if _, err := eng.TrainDefault(context.Background()); err != nil {
 		log.Fatal(err)
 	}
@@ -33,62 +37,89 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	governor := policy.NewGovernor(predictor, 0)
 
-	// The batch: a mix of compute- and memory-dominated jobs.
-	queue := []string{"MatrixMultiply", "MT", "k-NN", "Blackscholes", "Convolution", "AES"}
+	// Baseline: the whole batch at default clocks, measured once and
+	// reused as the reference for every policy replay.
+	baselines, defTime, defEnergy, err := runBaseline(eng.Harness())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline (default clocks): %7.2f ms, %7.2f J\n\n", 1e3*defTime, defEnergy)
 
-	var defTime, defEnergy, tunedTime, tunedEnergy float64
-	fmt.Printf("%-16s %-12s %10s %10s %12s\n",
-		"job", "chosen cfg", "speedup", "vs default", "energy ratio")
+	specs := []policy.Spec{
+		{Name: policy.MinEnergy}, // ≤10% predicted slowdown
+		{Name: policy.EDP},
+		{Name: policy.Balanced},
+	}
+	for _, spec := range specs {
+		if err := runBatch(eng.Harness(), governor, spec, baselines, defTime, defEnergy); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+}
+
+// runBaseline measures every job at default clocks, returning the per-job
+// baselines plus the summed kernel time and energy.
+func runBaseline(h *measure.Harness) (baselines map[string]measure.Measurement, timeSec, energyJ float64, err error) {
+	baselines = make(map[string]measure.Measurement, len(queue))
 	for _, name := range queue {
 		b, err := bench.ByName(name)
 		if err != nil {
-			log.Fatal(err)
+			return nil, 0, 0, err
 		}
-
-		// Baseline: default clocks.
-		base, err := harness.Baseline(b.Profile())
+		base, err := h.Baseline(b.Profile())
 		if err != nil {
-			log.Fatal(err)
+			return nil, 0, 0, err
 		}
-		defTime += base.KernelSec
-		defEnergy += base.EnergyJ
+		baselines[name] = base
+		timeSec += base.KernelSec
+		energyJ += base.EnergyJ
+	}
+	return baselines, timeSec, energyJ, nil
+}
 
-		// Scheduler decision from static features only.
-		set := predictor.ParetoSet(b.Features())
-		choice, ok := pickFrugal(set, 0.90)
-		if !ok {
-			choice = core.Prediction{Config: device.Sim().Ladder.Default()}
-		}
-		rel, err := harness.MeasureRelative(b.Profile(), choice.Config, base)
+// runBatch replays the queue under one policy: per job, the governor
+// decides a configuration from static features alone, the scheduler
+// applies it via the NVML management API, and the launch is measured
+// against the job's pre-measured default-clocks baseline.
+func runBatch(h *measure.Harness, governor *policy.Governor, spec policy.Spec, baselines map[string]measure.Measurement, defTime, defEnergy float64) error {
+	device := h.Device()
+	fmt.Printf("policy %s:\n", spec.WithDefaults().Name)
+	fmt.Printf("  %-16s %-12s %10s %12s %s\n", "job", "chosen cfg", "speedup", "energy ratio", "")
+	var tunedTime, tunedEnergy float64
+	for _, name := range queue {
+		b, err := bench.ByName(name)
 		if err != nil {
-			log.Fatal(err)
+			return err
+		}
+		decision, err := governor.Decide(b.Features(), spec)
+		if err != nil {
+			return err
+		}
+		// Apply the chosen clocks through the management API, as a real
+		// deployment would, and launch at whatever the hardware actually
+		// applied (the Titan X clamps some requests).
+		cfg := decision.Chosen.Config
+		if err := device.DeviceSetApplicationsClocks(cfg.Mem, cfg.Core); err != nil {
+			return err
+		}
+		applied := device.DeviceGetApplicationsClocks()
+		rel, err := h.MeasureRelative(b.Profile(), applied, baselines[name])
+		if err != nil {
+			return err
 		}
 		tunedTime += rel.Raw.KernelSec
 		tunedEnergy += rel.Raw.EnergyJ
-		fmt.Printf("%-16s %-12s %10.3f %9.1f%% %11.1f%%\n",
-			name, choice.Config, rel.Speedup, 100*rel.Speedup, 100*rel.NormEnergy)
+		note := ""
+		if !decision.Feasible {
+			note = "[fallback: " + decision.Fallback + "]"
+		}
+		fmt.Printf("  %-16s %-12s %10.3f %11.1f%% %s\n", name, cfg, rel.Speedup, 100*rel.NormEnergy, note)
 	}
-
-	fmt.Printf("\nbatch totals (per-launch sums):\n")
-	fmt.Printf("  default clocks: %7.2f ms, %7.2f J\n", 1e3*defTime, defEnergy)
-	fmt.Printf("  scheduled:      %7.2f ms, %7.2f J\n", 1e3*tunedTime, tunedEnergy)
-	fmt.Printf("  energy saved: %.1f%%  at %.1f%% slowdown\n",
+	fmt.Printf("  batch: %7.2f ms, %7.2f J — energy saved %.1f%% at %.1f%% slowdown\n",
+		1e3*tunedTime, tunedEnergy,
 		100*(1-tunedEnergy/defEnergy), 100*(tunedTime/defTime-1))
-}
-
-// pickFrugal returns the modeled prediction with minimum energy among those
-// with predicted speedup at or above the floor.
-func pickFrugal(set []core.Prediction, floor float64) (core.Prediction, bool) {
-	best := core.Prediction{NormEnergy: math.Inf(1)}
-	found := false
-	for _, p := range set {
-		if p.MemLHeuristic {
-			continue
-		}
-		if p.Speedup >= floor && p.NormEnergy < best.NormEnergy {
-			best, found = p, true
-		}
-	}
-	return best, found
+	return nil
 }

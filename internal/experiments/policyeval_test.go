@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/policy"
+)
+
+func TestPolicyEvalBothDevices(t *testing.T) {
+	tables, err := PolicyEval(engine.Options{Core: core.Options{SettingsPerKernel: 10}})
+	if err != nil {
+		t.Fatalf("PolicyEval: %v", err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d, want 2 (Titan X, P100)", len(tables))
+	}
+	wantRows := len(bench.All()) * len(policy.Builtins())
+	for _, tbl := range tables {
+		if tbl.Device == "" {
+			t.Error("table without device name")
+		}
+		if len(tbl.Rows) != wantRows {
+			t.Errorf("%s: rows = %d, want %d", tbl.Device, len(tbl.Rows), wantRows)
+		}
+		for _, r := range tbl.Rows {
+			if r.ChosenSpeedup <= 0 || r.OracleSpeedup <= 0 {
+				t.Errorf("%s %s/%s: non-positive measured speedup: %+v", tbl.Device, r.Policy, r.Benchmark, r)
+			}
+			// The oracle has perfect knowledge; for objective policies the
+			// governor can at best match it in the policy's own metric.
+			switch r.Policy {
+			case policy.EDP:
+				if r.ChosenEnergy/r.ChosenSpeedup < r.OracleEnergy/r.OracleSpeedup-1e-9 {
+					t.Errorf("%s %s: governor beat the oracle in its own metric: %+v", tbl.Device, r.Benchmark, r)
+				}
+			case policy.MaxPerf:
+				// Feasible oracle decisions bound feasible governor ones.
+				if r.OracleEnergy <= policy.DefaultEnergyBudget && r.ChosenEnergy <= policy.DefaultEnergyBudget &&
+					r.ChosenSpeedup > r.OracleSpeedup+1e-9 {
+					t.Errorf("%s %s: governor beat the max-perf oracle: %+v", tbl.Device, r.Benchmark, r)
+				}
+			}
+		}
+		sums := tbl.Summarize()
+		if len(sums) != len(policy.Builtins()) {
+			t.Errorf("%s: summaries = %d, want %d", tbl.Device, len(sums), len(policy.Builtins()))
+		}
+		for _, s := range sums {
+			if s.Benchmarks != len(bench.All()) {
+				t.Errorf("%s %s: benchmarks = %d, want %d", tbl.Device, s.Policy, s.Benchmarks, len(bench.All()))
+			}
+			if s.ExactMatches < 0 || s.ExactMatches > s.Benchmarks {
+				t.Errorf("%s %s: exact matches out of range: %+v", tbl.Device, s.Policy, s)
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	RenderPolicyEval(&buf, tables)
+	out := buf.String()
+	for _, info := range policy.Builtins() {
+		if !strings.Contains(out, info.Name) {
+			t.Errorf("RenderPolicyEval missing policy %q", info.Name)
+		}
+	}
+	for _, tbl := range tables {
+		if !strings.Contains(out, tbl.Device) {
+			t.Errorf("RenderPolicyEval missing device %q", tbl.Device)
+		}
+	}
+}

@@ -1,9 +1,24 @@
 package gpu
 
 import (
+	"fmt"
+
 	"repro/internal/clkernel"
 	"repro/internal/freq"
 )
+
+// ByName builds the simulated device with the given profile name: "titanx"
+// (also the default for "") or "p100". It is the single name→device
+// mapping shared by the cmd binaries.
+func ByName(name string) (*Device, error) {
+	switch name {
+	case "titanx", "":
+		return TitanX(), nil
+	case "p100":
+		return P100(), nil
+	}
+	return nil, fmt.Errorf("unknown device %q (titanx, p100)", name)
+}
 
 // maxwellThroughput returns per-SM per-cycle issue throughput for a
 // Maxwell-class SM (GM200): 128 CUDA cores, 32 SFUs, 32 LSUs per SM.

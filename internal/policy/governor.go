@@ -1,0 +1,165 @@
+package policy
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/features"
+	"repro/internal/freq"
+)
+
+// defaultCacheSize bounds the governor's decision cache when the caller
+// passes 0 to NewGovernor.
+const defaultCacheSize = 4096
+
+// Governor resolves policy specs against a trained predictor and memoizes
+// whole decisions: one (kernel features, resolved spec) pair costs a full
+// ladder sweep plus Pareto derivation the first time and a map lookup
+// afterwards. It is the shared policy layer under cmd/gpufreqd's /select
+// endpoint, the gpufreq select subcommand, and examples/scheduler. All
+// methods are safe for concurrent use.
+//
+// A Governor is bound to the Predictor it was built with; after retraining
+// (which installs a new Predictor on the engine) build a new Governor so
+// stale decisions cannot outlive their models.
+type Governor struct {
+	pred *engine.Predictor
+
+	mu  sync.Mutex
+	cap int
+	m   map[decisionKey]*list.Element
+	l   *list.List // front = most recently used
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// decisionKey identifies one cacheable decision: the kernel's static
+// features plus the resolved spec (both comparable value types).
+type decisionKey struct {
+	st   features.Static
+	spec Spec
+}
+
+type governorEntry struct {
+	k decisionKey
+	d Decision
+}
+
+// NewGovernor builds a governor over a trained predictor. cacheSize bounds
+// the decision cache in entries: 0 selects the default (4096), negative
+// disables caching.
+func NewGovernor(p *engine.Predictor, cacheSize int) *Governor {
+	g := &Governor{pred: p, cap: cacheSize}
+	if cacheSize == 0 {
+		g.cap = defaultCacheSize
+	}
+	if g.cap > 0 {
+		g.m = make(map[decisionKey]*list.Element)
+		g.l = list.New()
+	}
+	return g
+}
+
+// Predictor returns the predictor the governor resolves policies over.
+func (g *Governor) Predictor() *engine.Predictor { return g.pred }
+
+// Decide predicts the kernel's Pareto set and resolves the spec over it,
+// consulting the decision cache first.
+func (g *Governor) Decide(st features.Static, spec Spec) (Decision, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return Decision{}, err
+	}
+	key := decisionKey{st: st, spec: spec}
+	if d, ok := g.lookup(key); ok {
+		g.hits.Add(1)
+		return d, nil
+	}
+	g.misses.Add(1)
+	d, err := Choose(g.pred.ParetoSet(st), spec)
+	if err != nil {
+		return Decision{}, err
+	}
+	g.store(key, d)
+	return d, nil
+}
+
+// DecideSource is the end-to-end governor entry point: parse OpenCL
+// source, extract static features, and decide.
+func (g *Governor) DecideSource(src, kernelName string, spec Spec) (Decision, error) {
+	st, err := features.ExtractSource(src, kernelName)
+	if err != nil {
+		return Decision{}, err
+	}
+	return g.Decide(st, spec)
+}
+
+// DecideOver resolves the spec over the kernel's Pareto set restricted to
+// the given candidate configurations (e.g. the paper's 40-setting
+// evaluation sample). Uncached: the decision depends on the candidate
+// list, which is not part of the cache key; callers supplying explicit
+// candidates control their own reuse.
+func (g *Governor) DecideOver(st features.Static, cfgs []freq.Config, spec Spec) (Decision, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return Decision{}, err
+	}
+	return Choose(g.pred.ParetoSetOver(st, cfgs), spec)
+}
+
+// Stats is a snapshot of the governor's decision-cache counters.
+type Stats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+}
+
+// Stats returns the decision-cache accounting since construction.
+func (g *Governor) Stats() Stats {
+	s := Stats{Hits: g.hits.Load(), Misses: g.misses.Load()}
+	if g.l != nil {
+		g.mu.Lock()
+		s.Entries = g.l.Len()
+		s.Capacity = g.cap
+		g.mu.Unlock()
+	}
+	return s
+}
+
+func (g *Governor) lookup(k decisionKey) (Decision, bool) {
+	if g.l == nil {
+		return Decision{}, false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	el, ok := g.m[k]
+	if !ok {
+		return Decision{}, false
+	}
+	g.l.MoveToFront(el)
+	return el.Value.(*governorEntry).d, true
+}
+
+func (g *Governor) store(k decisionKey, d Decision) {
+	if g.l == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if el, ok := g.m[k]; ok {
+		el.Value.(*governorEntry).d = d
+		g.l.MoveToFront(el)
+		return
+	}
+	if g.l.Len() >= g.cap {
+		if oldest := g.l.Back(); oldest != nil {
+			g.l.Remove(oldest)
+			delete(g.m, oldest.Value.(*governorEntry).k)
+		}
+	}
+	g.m[k] = g.l.PushFront(&governorEntry{k: k, d: d})
+}

@@ -1,0 +1,246 @@
+package policy
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/features"
+	"repro/internal/freq"
+	"repro/internal/gpu"
+	"repro/internal/measure"
+	"repro/internal/nvml"
+)
+
+// Trained predictors are shared across the tests of this file (training
+// even a small engine dominates test time); every test builds its own
+// Governor, which is cheap.
+var (
+	predOnce = map[string]*sync.Once{"titanx": {}, "p100": {}}
+	preds    = map[string]*engine.Predictor{}
+	predErr  = map[string]error{}
+	predMu   sync.Mutex
+)
+
+// trainedGovernor wraps the device's shared small-trained predictor in a
+// fresh governor.
+func trainedGovernor(t *testing.T, dev *gpu.Device, cacheSize int) *Governor {
+	t.Helper()
+	key := "titanx"
+	if len(dev.Ladder.MemClocks()) == 1 {
+		key = "p100"
+	}
+	predOnce[key].Do(func() {
+		eng := engine.New(measure.NewHarness(nvml.NewDevice(dev)), engine.Options{
+			Workers: 4,
+			Core:    core.Options{SettingsPerKernel: 4},
+		})
+		var err error
+		if _, err = eng.TrainDefault(context.Background()); err == nil {
+			var p *engine.Predictor
+			if p, err = eng.Predictor(); err == nil {
+				predMu.Lock()
+				preds[key] = p
+				predMu.Unlock()
+			}
+		}
+		predMu.Lock()
+		predErr[key] = err
+		predMu.Unlock()
+	})
+	predMu.Lock()
+	defer predMu.Unlock()
+	if predErr[key] != nil {
+		t.Fatalf("training %s: %v", key, predErr[key])
+	}
+	return NewGovernor(preds[key], cacheSize)
+}
+
+// TestGovernorPolicyConsistentBothDevices drives every built-in policy on
+// both GPU profiles and checks the decision is policy-consistent: a ladder
+// configuration, drawn from the predicted front, honoring the constraint
+// whenever the decision claims feasibility.
+func TestGovernorPolicyConsistentBothDevices(t *testing.T) {
+	for _, dev := range []*gpu.Device{gpu.TitanX(), gpu.P100()} {
+		gov := trainedGovernor(t, dev, 0)
+		ladder := dev.Ladder
+		for _, b := range bench.All()[:4] {
+			st := b.Features()
+			for _, info := range Builtins() {
+				d, err := gov.Decide(st, Spec{Name: info.Name})
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", dev.Name, b.Name, info.Name, err)
+				}
+				if !ladder.Supported(d.Chosen.Config) {
+					t.Errorf("%s/%s/%s chose %v: not a ladder configuration",
+						dev.Name, b.Name, info.Name, d.Chosen.Config)
+				}
+				if d.Candidates == 0 {
+					t.Errorf("%s/%s/%s: zero candidates", dev.Name, b.Name, info.Name)
+				}
+				if d.Feasible {
+					switch info.Name {
+					case MinEnergy:
+						if d.Chosen.Speedup < d.Policy.SpeedupFloor() {
+							t.Errorf("%s/%s min-energy chose speedup %.3f below floor %.3f",
+								dev.Name, b.Name, d.Chosen.Speedup, d.Policy.SpeedupFloor())
+						}
+					case MaxPerf:
+						if d.Chosen.NormEnergy > d.Policy.EnergyBudget {
+							t.Errorf("%s/%s max-perf chose energy %.3f above budget %.3f",
+								dev.Name, b.Name, d.Chosen.NormEnergy, d.Policy.EnergyBudget)
+						}
+					}
+				} else if d.Fallback == "" {
+					t.Errorf("%s/%s/%s: infeasible decision without a fallback note",
+						dev.Name, b.Name, info.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestGovernorCacheAccounting(t *testing.T) {
+	gov := trainedGovernor(t, gpu.TitanX(), 0)
+	st := bench.All()[0].Features()
+	spec := Spec{Name: EDP}
+
+	d1, err := gov.Decide(st, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gov.Stats()
+	if s.Misses != 1 || s.Hits != 0 || s.Entries != 1 {
+		t.Fatalf("after first decide: %+v", s)
+	}
+	d2, err := gov.Decide(st, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s = gov.Stats(); s.Hits != 1 {
+		t.Fatalf("repeat decide did not hit the cache: %+v", s)
+	}
+	if d1.Chosen.Config != d2.Chosen.Config {
+		t.Fatalf("cached decision differs: %v vs %v", d1.Chosen.Config, d2.Chosen.Config)
+	}
+	// A different spec for the same kernel is a distinct cache entry.
+	if _, err := gov.Decide(st, Spec{Name: EDP, IncludeHeuristic: true}); err != nil {
+		t.Fatal(err)
+	}
+	if s = gov.Stats(); s.Misses != 2 || s.Entries != 2 {
+		t.Fatalf("spec variation not keyed separately: %+v", s)
+	}
+}
+
+func TestGovernorCacheEviction(t *testing.T) {
+	gov := trainedGovernor(t, gpu.TitanX(), 2)
+	bs := bench.All()
+	for _, b := range bs[:3] {
+		if _, err := gov.Decide(b.Features(), Spec{Name: EDP}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := gov.Stats(); s.Entries != 2 || s.Capacity != 2 {
+		t.Fatalf("cache exceeded its bound: %+v", s)
+	}
+	// Disabled cache never stores.
+	off := NewGovernor(gov.Predictor(), -1)
+	if _, err := off.Decide(bs[0].Features(), Spec{Name: EDP}); err != nil {
+		t.Fatal(err)
+	}
+	if s := off.Stats(); s.Entries != 0 || s.Capacity != 0 {
+		t.Fatalf("disabled cache stored entries: %+v", s)
+	}
+}
+
+// TestGovernorConcurrentDeterminism hammers one governor from many
+// goroutines across kernels and specs; every (kernel, spec) pair must
+// resolve to one configuration. Run under -race this exercises the
+// decision cache's locking.
+func TestGovernorConcurrentDeterminism(t *testing.T) {
+	gov := trainedGovernor(t, gpu.TitanX(), 4) // small: forces eviction churn
+	bs := bench.All()[:6]
+	// Features are extracted up front: bench's lazy parse cache is not
+	// goroutine-safe, and the governor's contract is over feature vectors.
+	sts := make([]features.Static, len(bs))
+	for i, b := range bs {
+		sts[i] = b.Features()
+	}
+	specs := []Spec{{Name: MinEnergy}, {Name: MaxPerf}, {Name: Balanced}}
+
+	type key struct {
+		bench int
+		spec  int
+	}
+	var mu sync.Mutex
+	seen := map[key]core.Prediction{}
+	var wg sync.WaitGroup
+	for round := 0; round < 4; round++ {
+		for bi := range bs {
+			for si := range specs {
+				wg.Add(1)
+				go func(bi, si int) {
+					defer wg.Done()
+					d, err := gov.Decide(sts[bi], specs[si])
+					if err != nil {
+						t.Errorf("%s/%s: %v", bs[bi].Name, specs[si].Name, err)
+						return
+					}
+					mu.Lock()
+					defer mu.Unlock()
+					k := key{bi, si}
+					if prev, ok := seen[k]; ok && prev.Config != d.Chosen.Config {
+						t.Errorf("%s/%s nondeterministic: %v vs %v",
+							bs[bi].Name, specs[si].Name, prev.Config, d.Chosen.Config)
+					}
+					seen[k] = d.Chosen
+				}(bi, si)
+			}
+		}
+	}
+	wg.Wait()
+}
+
+func TestGovernorDecideSource(t *testing.T) {
+	gov := trainedGovernor(t, gpu.TitanX(), 0)
+	const saxpy = `__kernel void saxpy(__global const float* x, __global float* y, float a, int n) {
+		int i = get_global_id(0);
+		if (i < n) y[i] = a * x[i] + y[i];
+	}`
+	d, err := gov.DecideSource(saxpy, "saxpy", Spec{Name: Balanced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gpu.TitanX().Ladder.Supported(d.Chosen.Config) {
+		t.Fatalf("chose %v: not a ladder configuration", d.Chosen.Config)
+	}
+	if _, err := gov.DecideSource("not opencl", "", Spec{Name: Balanced}); err == nil {
+		t.Fatal("bad source should fail")
+	}
+	if _, err := gov.DecideSource(saxpy, "saxpy", Spec{Name: "nope"}); err == nil {
+		t.Fatal("unknown policy should fail")
+	}
+}
+
+func TestGovernorDecideOver(t *testing.T) {
+	gov := trainedGovernor(t, gpu.TitanX(), 0)
+	ladder := gpu.TitanX().Ladder
+	sampled := ladder.TrainingSample(40)
+	in := map[freq.Config]bool{}
+	for _, c := range sampled {
+		in[c] = true
+	}
+	d, err := gov.DecideOver(bench.All()[0].Features(), sampled, Spec{Name: EDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in[d.Chosen.Config] {
+		t.Fatalf("DecideOver chose %v outside the candidate sample", d.Chosen.Config)
+	}
+	if s := gov.Stats(); s.Hits+s.Misses != 0 {
+		t.Fatalf("DecideOver touched the decision cache: %+v", s)
+	}
+}

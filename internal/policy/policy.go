@@ -1,0 +1,344 @@
+// Package policy turns predicted Pareto sets into concrete DVFS decisions.
+//
+// The prediction pipeline (internal/core, internal/engine) stops at a
+// Pareto-optimal set of (speedup, normalized energy) trade-offs — the
+// paper's end product (Sections 3.4, 4.5). An operator, however, needs a
+// single frequency configuration to apply through the management API, and
+// which Pareto point is "best" depends on intent: a battery-constrained
+// deployment wants minimum energy at bounded slowdown, a latency-critical
+// one wants maximum performance inside an energy budget, a throughput
+// cluster may optimize the energy-delay product. This package names those
+// intents as composable policy specifications and resolves them over a
+// predicted set deterministically:
+//
+//	min-energy  minimize normalized energy subject to a maximum-slowdown cap
+//	max-perf    maximize speedup subject to a normalized-energy budget
+//	edp         minimize the energy-delay product E·D ∝ energy/speedup
+//	ed2p        minimize the energy-delay² product ∝ energy/speedup²
+//	balanced    pick the knee point of the Pareto front
+//
+// Constrained policies degrade gracefully: when no configuration satisfies
+// the constraint, the decision falls back to the feasible extreme closest
+// to it (documented per policy on Decision.Fallback) and reports
+// Feasible=false rather than failing, so a governor can always apply
+// *some* clock. All selection is deterministic, including exact-tie
+// resolution (higher speedup, then lower energy, then lower memory and
+// core clocks).
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Built-in policy names, accepted by Spec.Name.
+const (
+	MinEnergy = "min-energy"
+	MaxPerf   = "max-perf"
+	EDP       = "edp"
+	ED2P      = "ed2p"
+	Balanced  = "balanced"
+)
+
+// Default constraint parameters, applied by Spec.WithDefaults.
+const (
+	// DefaultMaxSlowdown caps min-energy at 10% predicted slowdown
+	// (speedup ≥ 0.90), the operating point the paper's evaluation and the
+	// scheduler example center on.
+	DefaultMaxSlowdown = 0.10
+	// DefaultEnergyBudget caps max-perf at the baseline's energy
+	// (normalized energy ≤ 1.0): "as fast as possible without paying more
+	// than default clocks".
+	DefaultEnergyBudget = 1.0
+)
+
+// ErrEmptyFront is returned by Choose when the candidate set is empty —
+// either the predicted Pareto set itself is empty, or it contains only the
+// mem-L heuristic point and the spec excludes heuristic configurations.
+var ErrEmptyFront = errors.New("policy: empty candidate set")
+
+// ErrUnknownPolicy is returned for a Spec whose Name is not a built-in.
+var ErrUnknownPolicy = errors.New("policy: unknown policy")
+
+// Spec is one policy request: a built-in objective plus its parameters.
+// The zero value of each parameter selects the documented default, so a
+// bare {Name: "min-energy"} is a complete spec. Spec is comparable and is
+// used as (part of) a cache key by Governor.
+type Spec struct {
+	// Name selects the objective: min-energy, max-perf, edp, ed2p or
+	// balanced.
+	Name string `json:"name"`
+	// MaxSlowdown is the min-energy constraint: the chosen configuration's
+	// predicted slowdown relative to default clocks may not exceed this
+	// fraction (0.10 ⇒ predicted speedup ≥ 0.90). 0 selects
+	// DefaultMaxSlowdown; negative values demand a predicted speedup above
+	// 1 (e.g. -0.05 ⇒ speedup ≥ 1.05). Ignored by other policies.
+	MaxSlowdown float64 `json:"max_slowdown,omitempty"`
+	// EnergyBudget is the max-perf constraint: the chosen configuration's
+	// predicted normalized energy may not exceed this value. 0 selects
+	// DefaultEnergyBudget. Ignored by other policies.
+	EnergyBudget float64 `json:"energy_budget,omitempty"`
+	// IncludeHeuristic admits the mem-L heuristic point as a candidate.
+	// It is excluded by default: its objective values are model
+	// extrapolations outside the trained frequency range (Section 4.5), so
+	// constraint checks against them are not trustworthy.
+	IncludeHeuristic bool `json:"include_heuristic,omitempty"`
+}
+
+// WithDefaults resolves zero-valued parameters to the documented defaults.
+func (s Spec) WithDefaults() Spec {
+	if s.MaxSlowdown == 0 {
+		s.MaxSlowdown = DefaultMaxSlowdown
+	}
+	if s.EnergyBudget == 0 {
+		s.EnergyBudget = DefaultEnergyBudget
+	}
+	return s
+}
+
+// SpeedupFloor is the minimum predicted speedup the min-energy constraint
+// admits, derived from MaxSlowdown.
+func (s Spec) SpeedupFloor() float64 { return 1 - s.WithDefaults().MaxSlowdown }
+
+// Validate reports whether the spec names a built-in policy.
+func (s Spec) Validate() error {
+	switch s.Name {
+	case MinEnergy, MaxPerf, EDP, ED2P, Balanced:
+		return nil
+	}
+	return fmt.Errorf("%w %q (built-ins: %s, %s, %s, %s, %s)",
+		ErrUnknownPolicy, s.Name, MinEnergy, MaxPerf, EDP, ED2P, Balanced)
+}
+
+// Info describes one built-in policy for discovery endpoints (GET
+// /policies, gpufreq select -list).
+type Info struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// Params documents the spec parameters the policy consumes, with their
+	// defaults rendered in the text.
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// Builtins lists every built-in policy in stable order.
+func Builtins() []Info {
+	return []Info{
+		{
+			Name:        MinEnergy,
+			Description: "minimize predicted normalized energy subject to a maximum predicted slowdown; falls back to the maximum-speedup configuration when no candidate meets the cap",
+			Params: map[string]string{
+				"max_slowdown": fmt.Sprintf("maximum predicted slowdown fraction (default %.2f ⇒ speedup ≥ %.2f)", DefaultMaxSlowdown, 1-DefaultMaxSlowdown),
+			},
+		},
+		{
+			Name:        MaxPerf,
+			Description: "maximize predicted speedup subject to a normalized-energy budget; falls back to the minimum-energy configuration when no candidate fits the budget",
+			Params: map[string]string{
+				"energy_budget": fmt.Sprintf("maximum predicted normalized energy (default %.1f = baseline energy)", DefaultEnergyBudget),
+			},
+		},
+		{
+			Name:        EDP,
+			Description: "minimize the predicted energy-delay product (normalized energy / speedup); unconstrained",
+		},
+		{
+			Name:        ED2P,
+			Description: "minimize the predicted energy-delay² product (normalized energy / speedup²); unconstrained",
+		},
+		{
+			Name:        Balanced,
+			Description: "pick the knee point of the predicted Pareto front: the configuration furthest below the chord joining the front's extremes in normalized objective space",
+		},
+	}
+}
+
+// Decision is a resolved policy choice over one predicted Pareto set.
+type Decision struct {
+	// Policy is the resolved spec (defaults applied) the decision answers.
+	Policy Spec `json:"policy"`
+	// Chosen is the selected prediction; Chosen.Config is the
+	// configuration to apply through the management API.
+	Chosen core.Prediction `json:"chosen"`
+	// Feasible reports whether the constraint (if the policy has one) was
+	// satisfiable. Unconstrained policies always report true.
+	Feasible bool `json:"feasible"`
+	// Fallback explains, when Feasible is false, which documented fallback
+	// produced Chosen.
+	Fallback string `json:"fallback,omitempty"`
+	// Candidates is the number of Pareto points the policy chose from
+	// (after heuristic filtering).
+	Candidates int `json:"candidates"`
+}
+
+// Choose resolves a policy spec over a predicted Pareto set. The set is
+// what engine.Predictor.ParetoSet returns: Pareto-optimal modeled points
+// plus, possibly, a trailing mem-L heuristic point (filtered out unless
+// the spec opts in). Choose never mutates the input and is deterministic:
+// equal inputs produce equal decisions, with exact objective ties broken
+// toward higher speedup, then lower energy, then lower memory and core
+// clocks.
+func Choose(set []core.Prediction, spec Spec) (Decision, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return Decision{}, err
+	}
+	cands := candidates(set, spec)
+	if len(cands) == 0 {
+		return Decision{}, ErrEmptyFront
+	}
+	d := Decision{Policy: spec, Feasible: true, Candidates: len(cands)}
+	switch spec.Name {
+	case MinEnergy:
+		floor := spec.SpeedupFloor()
+		if best, ok := argBest(cands, func(p core.Prediction) (float64, bool) {
+			return p.NormEnergy, p.Speedup >= floor
+		}, false); ok {
+			d.Chosen = best
+			return d, nil
+		}
+		// No candidate meets the slowdown cap: the maximum-speedup point is
+		// the closest any configuration gets to the floor.
+		d.Feasible = false
+		d.Chosen = maxSpeedup(cands)
+		d.Fallback = fmt.Sprintf("no configuration meets speedup ≥ %.3f; chose the maximum-speedup configuration", floor)
+	case MaxPerf:
+		if best, ok := argBest(cands, func(p core.Prediction) (float64, bool) {
+			return p.Speedup, p.NormEnergy <= spec.EnergyBudget
+		}, true); ok {
+			d.Chosen = best
+			return d, nil
+		}
+		// No candidate fits the budget: the minimum-energy point is the
+		// closest any configuration gets to it.
+		d.Feasible = false
+		d.Chosen = minEnergy(cands)
+		d.Fallback = fmt.Sprintf("no configuration meets normalized energy ≤ %.3f; chose the minimum-energy configuration", spec.EnergyBudget)
+	case EDP:
+		d.Chosen, _ = argBest(cands, func(p core.Prediction) (float64, bool) {
+			return product(p, 1), true
+		}, false)
+	case ED2P:
+		d.Chosen, _ = argBest(cands, func(p core.Prediction) (float64, bool) {
+			return product(p, 2), true
+		}, false)
+	case Balanced:
+		d.Chosen = knee(cands)
+	}
+	return d, nil
+}
+
+// candidates filters the set down to the points the policy may choose:
+// modeled points always, the mem-L heuristic point only on opt-in.
+func candidates(set []core.Prediction, spec Spec) []core.Prediction {
+	out := make([]core.Prediction, 0, len(set))
+	for _, p := range set {
+		if p.MemLHeuristic && !spec.IncludeHeuristic {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// product is the generalized energy-delay product E·Dⁿ in normalized
+// terms: delay relative to baseline is 1/speedup, so E·Dⁿ ∝ e/sⁿ.
+// Non-positive predicted speedups (a degenerate model output) score +Inf
+// so they are never chosen ahead of a usable point.
+func product(p core.Prediction, n int) float64 {
+	if p.Speedup <= 0 {
+		return math.Inf(1)
+	}
+	return p.NormEnergy / math.Pow(p.Speedup, float64(n))
+}
+
+// tieBetter is the deterministic exact-tie order: higher speedup, then
+// lower energy, then lower memory clock, then lower core clock.
+func tieBetter(a, b core.Prediction) bool {
+	if a.Speedup != b.Speedup {
+		return a.Speedup > b.Speedup
+	}
+	if a.NormEnergy != b.NormEnergy {
+		return a.NormEnergy < b.NormEnergy
+	}
+	if a.Config.Mem != b.Config.Mem {
+		return a.Config.Mem < b.Config.Mem
+	}
+	return a.Config.Core < b.Config.Core
+}
+
+// argBest scans the candidates for the best feasible score (maximize when
+// maximize is true, else minimize), resolving exact score ties with
+// tieBetter. ok is false when no candidate is feasible.
+func argBest(cands []core.Prediction, score func(core.Prediction) (float64, bool), maximize bool) (core.Prediction, bool) {
+	var best core.Prediction
+	bestScore := math.Inf(1)
+	if maximize {
+		bestScore = math.Inf(-1)
+	}
+	found := false
+	for _, p := range cands {
+		s, feasible := score(p)
+		if !feasible {
+			continue
+		}
+		improves := s < bestScore
+		if maximize {
+			improves = s > bestScore
+		}
+		if !found || improves || (s == bestScore && tieBetter(p, best)) {
+			best, bestScore, found = p, s, true
+		}
+	}
+	return best, found
+}
+
+// maxSpeedup returns the maximum-speedup candidate (ties via tieBetter).
+func maxSpeedup(cands []core.Prediction) core.Prediction {
+	best, _ := argBest(cands, func(p core.Prediction) (float64, bool) {
+		return p.Speedup, true
+	}, true)
+	return best
+}
+
+// minEnergy returns the minimum-energy candidate (ties via tieBetter).
+func minEnergy(cands []core.Prediction) core.Prediction {
+	best, _ := argBest(cands, func(p core.Prediction) (float64, bool) {
+		return p.NormEnergy, true
+	}, false)
+	return best
+}
+
+// knee picks the Pareto front's knee point: objectives are normalized to
+// [0,1] over the candidate set, and the point with the greatest
+// perpendicular distance below the chord joining the maximum-speedup and
+// minimum-energy extremes wins. Degenerate fronts (fewer than three
+// points, or a collapsed objective range where every distance is zero)
+// resolve through the deterministic tie order, which favors the
+// higher-speedup end.
+func knee(cands []core.Prediction) core.Prediction {
+	sLo, sHi := math.Inf(1), math.Inf(-1)
+	eLo, eHi := math.Inf(1), math.Inf(-1)
+	for _, p := range cands {
+		sLo, sHi = math.Min(sLo, p.Speedup), math.Max(sHi, p.Speedup)
+		eLo, eHi = math.Min(eLo, p.NormEnergy), math.Max(eHi, p.NormEnergy)
+	}
+	sSpan, eSpan := sHi-sLo, eHi-eLo
+	if sSpan <= 0 || eSpan <= 0 {
+		// All candidates share a speedup or an energy value: no curvature
+		// to find a knee on.
+		best, _ := argBest(cands, func(core.Prediction) (float64, bool) { return 0, true }, false)
+		return best
+	}
+	// On a normalized bi-objective front the max-speedup extreme sits at
+	// (1,1) and the min-energy extreme at (0,0); the chord is the diagonal
+	// u = v, and the knee maximizes the distance below it, (u - v)/√2.
+	best, _ := argBest(cands, func(p core.Prediction) (float64, bool) {
+		u := (p.Speedup - sLo) / sSpan
+		v := (p.NormEnergy - eLo) / eSpan
+		return u - v, true
+	}, true)
+	return best
+}

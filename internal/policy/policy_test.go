@@ -1,0 +1,232 @@
+package policy
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/freq"
+)
+
+// front is a hand-built predicted Pareto set: speedup descends with the
+// core clock while energy descends too (the classic trade-off shape), plus
+// a trailing mem-L heuristic point as ParetoSet emits.
+func front() []core.Prediction {
+	return []core.Prediction{
+		{Config: freq.Config{Mem: 3505, Core: 1202}, Speedup: 1.05, NormEnergy: 1.20},
+		{Config: freq.Config{Mem: 3505, Core: 1001}, Speedup: 1.00, NormEnergy: 1.00},
+		{Config: freq.Config{Mem: 3505, Core: 885}, Speedup: 0.93, NormEnergy: 0.88},
+		{Config: freq.Config{Mem: 3304, Core: 772}, Speedup: 0.84, NormEnergy: 0.80},
+		{Config: freq.Config{Mem: 810, Core: 595}, Speedup: 0.62, NormEnergy: 0.71},
+		{Config: freq.Config{Mem: 405, Core: 405}, Speedup: 0.30, NormEnergy: 0.95, MemLHeuristic: true},
+	}
+}
+
+func mustChoose(t *testing.T, set []core.Prediction, spec Spec) Decision {
+	t.Helper()
+	d, err := Choose(set, spec)
+	if err != nil {
+		t.Fatalf("Choose(%+v): %v", spec, err)
+	}
+	return d
+}
+
+func TestChooseMinEnergy(t *testing.T) {
+	d := mustChoose(t, front(), Spec{Name: MinEnergy}) // default cap: speedup ≥ 0.90
+	if got, want := d.Chosen.Config, (freq.Config{Mem: 3505, Core: 885}); got != want {
+		t.Fatalf("chosen %v, want %v", got, want)
+	}
+	if !d.Feasible || d.Fallback != "" {
+		t.Fatalf("expected feasible decision: %+v", d)
+	}
+	// Loosening the cap admits lower-energy points.
+	d = mustChoose(t, front(), Spec{Name: MinEnergy, MaxSlowdown: 0.40})
+	if got, want := d.Chosen.Config, (freq.Config{Mem: 810, Core: 595}); got != want {
+		t.Fatalf("loose cap chose %v, want %v", got, want)
+	}
+}
+
+func TestChooseMinEnergyInfeasibleFallsBackToMaxSpeedup(t *testing.T) {
+	// A negative MaxSlowdown demands speedup ≥ 1.10: nothing qualifies.
+	d := mustChoose(t, front(), Spec{Name: MinEnergy, MaxSlowdown: -0.10})
+	if d.Feasible {
+		t.Fatal("expected infeasible decision")
+	}
+	if d.Fallback == "" {
+		t.Fatal("infeasible decision must document its fallback")
+	}
+	if got, want := d.Chosen.Config, (freq.Config{Mem: 3505, Core: 1202}); got != want {
+		t.Fatalf("fallback chose %v, want max-speedup %v", got, want)
+	}
+}
+
+func TestChooseMaxPerf(t *testing.T) {
+	d := mustChoose(t, front(), Spec{Name: MaxPerf}) // default budget: energy ≤ 1.0
+	if got, want := d.Chosen.Config, (freq.Config{Mem: 3505, Core: 1001}); got != want {
+		t.Fatalf("chosen %v, want %v", got, want)
+	}
+	d = mustChoose(t, front(), Spec{Name: MaxPerf, EnergyBudget: 1.5})
+	if got, want := d.Chosen.Config, (freq.Config{Mem: 3505, Core: 1202}); got != want {
+		t.Fatalf("big budget chose %v, want %v", got, want)
+	}
+}
+
+func TestChooseMaxPerfInfeasibleFallsBackToMinEnergy(t *testing.T) {
+	d := mustChoose(t, front(), Spec{Name: MaxPerf, EnergyBudget: 0.10})
+	if d.Feasible || d.Fallback == "" {
+		t.Fatalf("expected documented infeasible fallback: %+v", d)
+	}
+	if got, want := d.Chosen.Config, (freq.Config{Mem: 810, Core: 595}); got != want {
+		t.Fatalf("fallback chose %v, want min-energy %v", got, want)
+	}
+}
+
+func TestChooseProducts(t *testing.T) {
+	// EDP = e/s: 1.20/1.05=1.143, 1.0, 0.88/0.93=0.946, 0.80/0.84=0.952,
+	// 0.71/0.62=1.145 → 885-core point wins.
+	d := mustChoose(t, front(), Spec{Name: EDP})
+	if got, want := d.Chosen.Config, (freq.Config{Mem: 3505, Core: 885}); got != want {
+		t.Fatalf("edp chose %v, want %v", got, want)
+	}
+	// ED2P weights delay harder, pulling the choice back toward the
+	// default clock: 1.0/1.0²=1.0 beats 0.88/0.93²=1.017.
+	d = mustChoose(t, front(), Spec{Name: ED2P})
+	if got, want := d.Chosen.Config, (freq.Config{Mem: 3505, Core: 1001}); got != want {
+		t.Fatalf("ed2p chose %v, want %v", got, want)
+	}
+	// A non-positive speedup can never win a product policy.
+	set := []core.Prediction{
+		{Config: freq.Config{Mem: 3505, Core: 595}, Speedup: -0.1, NormEnergy: 0.01},
+		{Config: freq.Config{Mem: 3505, Core: 1001}, Speedup: 1.0, NormEnergy: 1.0},
+	}
+	d = mustChoose(t, set, Spec{Name: EDP})
+	if got, want := d.Chosen.Config, (freq.Config{Mem: 3505, Core: 1001}); got != want {
+		t.Fatalf("edp with degenerate speedup chose %v, want %v", got, want)
+	}
+}
+
+func TestChooseBalancedKnee(t *testing.T) {
+	// Normalized: (1.05,1.20)→(1,1); (0.62,0.71)→(0,0). The 885-core point
+	// maps to (0.721,0.347): u-v = 0.374, the largest bulge below the
+	// chord.
+	d := mustChoose(t, front(), Spec{Name: Balanced})
+	if got, want := d.Chosen.Config, (freq.Config{Mem: 3505, Core: 885}); got != want {
+		t.Fatalf("balanced chose %v, want %v", got, want)
+	}
+}
+
+func TestChooseEmptyFront(t *testing.T) {
+	for _, set := range [][]core.Prediction{
+		nil,
+		{},
+		// Only a heuristic point, excluded by default.
+		{{Config: freq.Config{Mem: 405, Core: 405}, Speedup: 0.3, NormEnergy: 0.9, MemLHeuristic: true}},
+	} {
+		if _, err := Choose(set, Spec{Name: MinEnergy}); !errors.Is(err, ErrEmptyFront) {
+			t.Fatalf("Choose(%v) err = %v, want ErrEmptyFront", set, err)
+		}
+	}
+	// Opting in to the heuristic point makes the singleton usable again.
+	set := []core.Prediction{{Config: freq.Config{Mem: 405, Core: 405}, Speedup: 0.3, NormEnergy: 0.9, MemLHeuristic: true}}
+	d := mustChoose(t, set, Spec{Name: EDP, IncludeHeuristic: true})
+	if got, want := d.Chosen.Config, (freq.Config{Mem: 405, Core: 405}); got != want {
+		t.Fatalf("heuristic opt-in chose %v, want %v", got, want)
+	}
+}
+
+func TestChooseSingletonFront(t *testing.T) {
+	single := []core.Prediction{{Config: freq.Config{Mem: 715, Core: 1328}, Speedup: 1.0, NormEnergy: 1.0}}
+	for _, name := range []string{MinEnergy, MaxPerf, EDP, ED2P, Balanced} {
+		d := mustChoose(t, single, Spec{Name: name})
+		if d.Chosen.Config != single[0].Config {
+			t.Fatalf("%s on singleton chose %v", name, d.Chosen.Config)
+		}
+		if d.Candidates != 1 {
+			t.Fatalf("%s candidates = %d, want 1", name, d.Candidates)
+		}
+	}
+	// A singleton that violates a constraint still resolves, infeasibly.
+	d := mustChoose(t, single, Spec{Name: MaxPerf, EnergyBudget: 0.5})
+	if d.Feasible || d.Chosen.Config != single[0].Config {
+		t.Fatalf("infeasible singleton: %+v", d)
+	}
+}
+
+func TestChooseUnknownPolicy(t *testing.T) {
+	if _, err := Choose(front(), Spec{Name: "max-vibes"}); !errors.Is(err, ErrUnknownPolicy) {
+		t.Fatalf("err = %v, want ErrUnknownPolicy", err)
+	}
+}
+
+func TestChooseDoesNotMutateInput(t *testing.T) {
+	set := front()
+	want := front()
+	_ = mustChoose(t, set, Spec{Name: Balanced})
+	if !reflect.DeepEqual(set, want) {
+		t.Fatal("Choose mutated its input set")
+	}
+}
+
+// TestChooseTieBreakDeterminism resolves a front full of exact objective
+// ties concurrently and demands one identical answer everywhere — run
+// under -race this also proves Choose shares no state across calls.
+func TestChooseTieBreakDeterminism(t *testing.T) {
+	tied := []core.Prediction{
+		{Config: freq.Config{Mem: 3505, Core: 1001}, Speedup: 1.0, NormEnergy: 1.0},
+		{Config: freq.Config{Mem: 3505, Core: 885}, Speedup: 1.0, NormEnergy: 1.0},
+		{Config: freq.Config{Mem: 3304, Core: 885}, Speedup: 1.0, NormEnergy: 1.0},
+		{Config: freq.Config{Mem: 810, Core: 595}, Speedup: 1.0, NormEnergy: 1.0},
+	}
+	// Tie order: lower mem first, then lower core.
+	want := freq.Config{Mem: 810, Core: 595}
+	for _, name := range []string{MinEnergy, MaxPerf, EDP, ED2P, Balanced} {
+		var wg sync.WaitGroup
+		got := make([]freq.Config, 16)
+		for i := range got {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				d, err := Choose(tied, Spec{Name: name})
+				if err != nil {
+					t.Errorf("%s: %v", name, err)
+					return
+				}
+				got[i] = d.Chosen.Config
+			}(i)
+		}
+		wg.Wait()
+		for i, g := range got {
+			if g != want {
+				t.Fatalf("%s run %d chose %v, want %v", name, i, g, want)
+			}
+		}
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	s := Spec{Name: MinEnergy}.WithDefaults()
+	if s.MaxSlowdown != DefaultMaxSlowdown || s.EnergyBudget != DefaultEnergyBudget {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	if got := (Spec{Name: MinEnergy, MaxSlowdown: 0.25}).SpeedupFloor(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("SpeedupFloor = %v, want 0.75", got)
+	}
+}
+
+func TestBuiltinsCoverValidation(t *testing.T) {
+	infos := Builtins()
+	if len(infos) != 5 {
+		t.Fatalf("Builtins() = %d entries, want 5", len(infos))
+	}
+	for _, info := range infos {
+		if err := (Spec{Name: info.Name}).Validate(); err != nil {
+			t.Errorf("built-in %q fails Validate: %v", info.Name, err)
+		}
+		if info.Description == "" {
+			t.Errorf("built-in %q has no description", info.Name)
+		}
+	}
+}
