@@ -372,6 +372,7 @@ func BenchmarkPredictionLatency(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		set := pred.ParetoSet(knn.Features())

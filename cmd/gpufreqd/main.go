@@ -202,12 +202,24 @@ type trainRequest struct {
 	Settings int `json:"settings"`
 }
 
+// modelStats reports one model's solver statistics from a training run.
+type modelStats struct {
+	SupportVectors int  `json:"support_vectors"`
+	Iters          int  `json:"iters"`
+	Converged      bool `json:"converged"`
+}
+
 type trainResponse struct {
 	Samples    int     `json:"samples"`
 	Kernels    int     `json:"kernels"`
 	DurationMS float64 `json:"duration_ms"`
-	SpeedupSVs int     `json:"speedup_svs"`
-	EnergySVs  int     `json:"energy_svs"`
+	// SpeedupSVs and EnergySVs are kept for backward compatibility; the
+	// per-model solver stats carry the same counts plus iterations and
+	// convergence.
+	SpeedupSVs   int        `json:"speedup_svs"`
+	EnergySVs    int        `json:"energy_svs"`
+	SpeedupModel modelStats `json:"speedup_model"`
+	EnergyModel  modelStats `json:"energy_model"`
 }
 
 func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
@@ -255,6 +267,16 @@ func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
 		SpeedupSVs: models.Speedup.NumSV(),
 		EnergySVs:  models.Energy.NumSV(),
+		SpeedupModel: modelStats{
+			SupportVectors: models.Speedup.NumSV(),
+			Iters:          models.Speedup.Iters,
+			Converged:      models.Speedup.Converged,
+		},
+		EnergyModel: modelStats{
+			SupportVectors: models.Energy.NumSV(),
+			Iters:          models.Energy.Iters,
+			Converged:      models.Energy.Converged,
+		},
 	})
 }
 

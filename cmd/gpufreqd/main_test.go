@@ -95,6 +95,23 @@ func TestTrainPredictHealthzCycle(t *testing.T) {
 	if tr.Kernels != 106 || tr.Samples == 0 || tr.SpeedupSVs == 0 || tr.EnergySVs == 0 {
 		t.Fatalf("unexpected train response: %+v", tr)
 	}
+	// Solver stats must be present and round-trip the installed models'
+	// values (whether a model converges is a solver property, not the
+	// handler's; the handler only has to report it faithfully).
+	if tr.SpeedupModel.SupportVectors != tr.SpeedupSVs ||
+		tr.EnergyModel.SupportVectors != tr.EnergySVs {
+		t.Fatalf("solver stats disagree with SV counts: %+v", tr)
+	}
+	if tr.SpeedupModel.Iters == 0 || tr.EnergyModel.Iters == 0 {
+		t.Fatalf("missing solver iteration counts: %+v", tr)
+	}
+	models := s.engine.Models()
+	if tr.SpeedupModel.Converged != models.Speedup.Converged ||
+		tr.EnergyModel.Converged != models.Energy.Converged ||
+		tr.SpeedupModel.Iters != models.Speedup.Iters ||
+		tr.EnergyModel.Iters != models.Energy.Iters {
+		t.Fatalf("solver stats do not match installed models: %+v", tr)
+	}
 
 	// Batch predict: two kernels, one of them twice so the cache hits.
 	body := `{"kernels": [

@@ -134,6 +134,20 @@ func BuildTrainingSet(h *measure.Harness, kernels []TrainingKernel, opt Options)
 	return out, nil
 }
 
+// DesignRows lays the samples' input vectors out as rows backed by one
+// contiguous allocation — the shape the SVR solver's flat design matrix
+// copies from, and a single allocation instead of one per sample.
+func DesignRows(samples []Sample) [][]float64 {
+	flat := make([]float64, len(samples)*features.Dim)
+	xs := make([][]float64, len(samples))
+	for i := range samples {
+		row := flat[i*features.Dim : (i+1)*features.Dim : (i+1)*features.Dim]
+		copy(row, samples[i].Vector[:])
+		xs[i] = row
+	}
+	return xs
+}
+
 // Models holds the two trained single-objective models.
 type Models struct {
 	Speedup *svm.Model
@@ -147,11 +161,10 @@ func Train(samples []Sample, opt Options) (*Models, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("core: empty training set")
 	}
-	xs := make([][]float64, len(samples))
+	xs := DesignRows(samples)
 	ys := make([]float64, len(samples))
 	es := make([]float64, len(samples))
 	for i, s := range samples {
-		xs[i] = s.Vector.Slice()
 		ys[i] = s.Speedup
 		es[i] = s.NormEnergy
 	}
@@ -272,15 +285,17 @@ func (p *Predictor) paretoOf(st features.Static, preds []Prediction) []Predictio
 	return out
 }
 
-// ParetoFront filters predictions down to the Pareto-optimal subset
-// (Algorithm 1 applied to predicted objectives). Input order is preserved
-// among the survivors.
+// ParetoFront filters predictions down to the Pareto-optimal subset. The
+// front is computed with the O(n log n) sort-based algorithm, which returns
+// the same set as the paper's Algorithm 1 (pareto.Simple, kept as the
+// paper-fidelity reference and checked equivalent in the pareto and core
+// tests) ordered by ascending speedup.
 func ParetoFront(preds []Prediction) []Prediction {
 	pts := make([]pareto.Point, len(preds))
 	for i, pr := range preds {
 		pts[i] = pareto.Point{Speedup: pr.Speedup, Energy: pr.NormEnergy, ID: i}
 	}
-	front := pareto.Simple(pts)
+	front := pareto.Fast(pts)
 	out := make([]Prediction, 0, len(front)+1)
 	for _, f := range front {
 		out = append(out, preds[f.ID])

@@ -12,6 +12,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/measure"
 	"repro/internal/nvml"
+	"repro/internal/pareto"
 	"repro/internal/svm"
 	"repro/internal/synth"
 )
@@ -217,6 +218,55 @@ func TestParetoSetProperties(t *testing.T) {
 			}
 			if a.Speedup >= b.Speedup && a.NormEnergy < b.NormEnergy {
 				t.Errorf("set member %v dominates %v", a.Config, b.Config)
+			}
+		}
+	}
+}
+
+// TestParetoFrontMatchesSimple keeps core.ParetoFront (which runs the
+// O(n log n) pareto.Fast) interchangeable with the paper's Algorithm 1
+// (pareto.Simple) over random prediction clouds, including exact duplicates
+// and tied objectives.
+func TestParetoFrontMatchesSimple(t *testing.T) {
+	seed := uint64(12345)
+	next := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>11) / float64(1<<53)
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + trial*7
+		preds := make([]Prediction, n)
+		for i := range preds {
+			// Quantize some coordinates so ties and duplicates occur.
+			s := next()
+			e := next()
+			if i%3 == 0 {
+				s = math.Round(s*8) / 8
+				e = math.Round(e*8) / 8
+			}
+			preds[i] = Prediction{
+				Config:     freq.Config{Mem: freq.MHz(i), Core: freq.MHz(i)},
+				Speedup:    0.2 + s,
+				NormEnergy: 0.6 + e,
+			}
+		}
+		got := ParetoFront(preds)
+
+		pts := make([]pareto.Point, n)
+		for i, pr := range preds {
+			pts[i] = pareto.Point{Speedup: pr.Speedup, Energy: pr.NormEnergy, ID: i}
+		}
+		want := pareto.Simple(pts)
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: front size %d (Fast) vs %d (Simple)", trial, len(got), len(want))
+		}
+		// Both fronts are sorted by (speedup, energy); compare as multisets
+		// of objective pairs so duplicate-point ID order doesn't matter.
+		for i := range got {
+			if got[i].Speedup != want[i].Speedup || got[i].NormEnergy != want[i].Energy {
+				t.Fatalf("trial %d: front[%d] = (%v, %v), Algorithm 1 has (%v, %v)",
+					trial, i, got[i].Speedup, got[i].NormEnergy, want[i].Speedup, want[i].Energy)
 			}
 		}
 	}

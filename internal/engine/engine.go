@@ -188,11 +188,10 @@ func (e *Engine) Fit(ctx context.Context, samples []core.Sample) (*core.Models, 
 	if len(samples) == 0 {
 		return nil, errors.New("engine: empty training set")
 	}
-	xs := make([][]float64, len(samples))
+	xs := core.DesignRows(samples)
 	ys := make([]float64, len(samples))
 	es := make([]float64, len(samples))
 	for i, s := range samples {
-		xs[i] = s.Vector.Slice()
 		ys[i] = s.Speedup
 		es[i] = s.NormEnergy
 	}

@@ -1,0 +1,97 @@
+package svm
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// benchProblem builds a deterministic regression problem shaped like the
+// paper's training sets: dim-dimensional inputs in the unit box with a
+// smooth nonlinear target.
+func benchProblem(n, dim int) ([][]float64, []float64) {
+	r := &det{s: 42}
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := make([]float64, dim)
+		s := 0.0
+		for j := range x {
+			x[j] = r.next()
+			s += x[j]
+		}
+		xs[i] = x
+		ys[i] = math.Sin(2*s) + 0.3*s
+	}
+	return xs, ys
+}
+
+// BenchmarkSVMTrain times one full ε-SVR fit per kernel at paper-style
+// hyper-parameters, so solver-level regressions are visible independently
+// of the engine's measurement sweep.
+func BenchmarkSVMTrain(b *testing.B) {
+	const n, dim = 1024, 12
+	xs, ys := benchProblem(n, dim)
+	for _, tc := range []struct {
+		name string
+		k    Kernel
+	}{
+		{"linear", Linear{}},
+		{"rbf", RBF{Gamma: 4}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m, err := Train(xs, ys, tc.k, Params{C: 1000, Epsilon: 0.1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(m.Iters), "iters")
+					b.ReportMetric(float64(m.NumSV()), "svs")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSVMPredict times single and batch prediction through the
+// flattened support-vector fast paths; the Into variants must not allocate.
+func BenchmarkSVMPredict(b *testing.B) {
+	const n, dim = 1024, 12
+	xs, ys := benchProblem(n, dim)
+	queries := make([][]float64, 171) // one modeled frequency ladder sweep
+	r := &det{s: 77}
+	for i := range queries {
+		q := make([]float64, dim)
+		for j := range q {
+			q[j] = r.next()
+		}
+		queries[i] = q
+	}
+	out := make([]float64, len(queries))
+	for _, tc := range []struct {
+		name string
+		k    Kernel
+	}{
+		{"linear", Linear{}},
+		{"rbf", RBF{Gamma: 4}},
+	} {
+		m, err := Train(xs, ys, tc.k, Params{C: 1000, Epsilon: 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("%s/single", tc.name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.Predict(queries[i%len(queries)])
+			}
+		})
+		b.Run(fmt.Sprintf("%s/batch171", tc.name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.PredictBatchInto(out, queries)
+			}
+		})
+	}
+}

@@ -69,3 +69,90 @@ func (k Poly) Eval(a, b []float64) float64 {
 func (k Poly) String() string {
 	return fmt.Sprintf("poly(gamma=%g, coef0=%g, degree=%d)", k.Gamma, k.Coef0, k.Degree)
 }
+
+// rowKernel computes whole kernel-matrix rows over a flat design matrix.
+// The solver's row fills go through these specializations instead of
+// per-element Kernel.Eval interface dispatch: each row is one tight loop
+// over contiguous memory, bit-identical to the per-element kernel so the
+// SMO trajectory is unchanged.
+type rowKernel interface {
+	// fillRow writes K(x_i, x_j) into dst[j] for every j in [lo, hi).
+	fillRow(d *designMatrix, i, lo, hi int, dst []float64)
+}
+
+// rowKernelFor returns the specialized row filler for the built-in kernels
+// and a generic per-element fallback for anything else.
+func rowKernelFor(k Kernel) rowKernel {
+	switch k := k.(type) {
+	case Linear:
+		return linearRows{}
+	case RBF:
+		return rbfRows{gamma: k.Gamma}
+	case Poly:
+		return polyRows{k}
+	default:
+		return genericRows{k}
+	}
+}
+
+type linearRows struct{}
+
+func (linearRows) fillRow(d *designMatrix, i, lo, hi int, dst []float64) {
+	xi := d.row(i)
+	for j := lo; j < hi; j++ {
+		xj := d.row(j)
+		s := 0.0
+		for t, v := range xi {
+			s += v * xj[t]
+		}
+		dst[j] = s
+	}
+}
+
+type rbfRows struct{ gamma float64 }
+
+func (r rbfRows) fillRow(d *designMatrix, i, lo, hi int, dst []float64) {
+	// ‖xi−xj‖² is summed in difference form, bit-identical to RBF.Eval,
+	// rather than via precomputed norms (‖xi‖² + ‖xj‖² − 2 xi·xj): the
+	// norm form perturbs kernel entries by one ulp, which flips SMO
+	// working-pair selections and breaks numerical equivalence with
+	// per-element evaluation. The exp dominates the entry cost either
+	// way; the win here is the contiguous whole-row loop without
+	// interface dispatch. Prediction, whose accumulation order is its
+	// own, does use the norm form (Model.predictRBF).
+	xi := d.row(i)
+	for j := lo; j < hi; j++ {
+		xj := d.row(j)
+		q := 0.0
+		for t, v := range xi {
+			diff := v - xj[t]
+			q += diff * diff
+		}
+		dst[j] = math.Exp(-r.gamma * q)
+	}
+}
+
+type polyRows struct{ k Poly }
+
+func (p polyRows) fillRow(d *designMatrix, i, lo, hi int, dst []float64) {
+	xi := d.row(i)
+	deg := float64(p.k.Degree)
+	for j := lo; j < hi; j++ {
+		xj := d.row(j)
+		s := 0.0
+		for t, v := range xi {
+			s += v * xj[t]
+		}
+		dst[j] = math.Pow(p.k.Gamma*s+p.k.Coef0, deg)
+	}
+}
+
+// genericRows preserves the old per-element path for user-supplied kernels.
+type genericRows struct{ k Kernel }
+
+func (g genericRows) fillRow(d *designMatrix, i, lo, hi int, dst []float64) {
+	xi := d.row(i)
+	for j := lo; j < hi; j++ {
+		dst[j] = g.k.Eval(xi, d.row(j))
+	}
+}

@@ -1,0 +1,30 @@
+package svm
+
+// designMatrix stores the training inputs as one contiguous row-major block
+// so kernel-row computation walks sequential memory instead of chasing
+// per-row slice headers. Row i occupies data[i*dim : (i+1)*dim].
+type designMatrix struct {
+	data []float64
+	n    int
+	dim  int
+}
+
+// newDesignMatrix copies xs (validated as rectangular by Train) into flat
+// storage.
+func newDesignMatrix(xs [][]float64) *designMatrix {
+	n := len(xs)
+	dim := 0
+	if n > 0 {
+		dim = len(xs[0])
+	}
+	d := &designMatrix{data: make([]float64, n*dim), n: n, dim: dim}
+	for i, x := range xs {
+		copy(d.data[i*dim:(i+1)*dim], x)
+	}
+	return d
+}
+
+// row returns the i-th input vector as a capacity-clipped subslice.
+func (d *designMatrix) row(i int) []float64 {
+	return d.data[i*d.dim : (i+1)*d.dim : (i+1)*d.dim]
+}

@@ -44,7 +44,10 @@ func (m *Model) Save(w io.Writer) error {
 	return enc.Encode(&mj)
 }
 
-// Load reads a model saved by Save.
+// Load reads a model saved by Save. The serialized form carries the
+// support vectors as plain rows; finalize rebuilds the flattened
+// support-vector matrix and the kernel-specific prediction fast paths, so
+// a loaded model predicts exactly like the one that was saved.
 func Load(r io.Reader) (*Model, error) {
 	var mj modelJSON
 	if err := json.NewDecoder(r).Decode(&mj); err != nil {
@@ -53,6 +56,17 @@ func Load(r io.Reader) (*Model, error) {
 	if len(mj.SupportVectors) != len(mj.Coefs) {
 		return nil, fmt.Errorf("svm: %d support vectors but %d coefficients",
 			len(mj.SupportVectors), len(mj.Coefs))
+	}
+	// Ragged rows would be silently truncated / zero-padded by the
+	// flattening in finalize; reject them here instead.
+	if len(mj.SupportVectors) > 0 {
+		dim := len(mj.SupportVectors[0])
+		for i, sv := range mj.SupportVectors {
+			if len(sv) != dim {
+				return nil, fmt.Errorf("svm: support vector %d has dim %d, want %d",
+					i, len(sv), dim)
+			}
+		}
 	}
 	m := &Model{SupportVectors: mj.SupportVectors, Coefs: mj.Coefs, B: mj.B, Converged: true}
 	switch mj.Kernel.Type {

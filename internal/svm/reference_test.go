@@ -1,0 +1,319 @@
+package svm
+
+// This file preserves the pre-overhaul SMO solver verbatim (per-element
+// Kernel.Eval row fills over [][]float64, full 2n-variable scans, no
+// shrinking) as a test-only reference implementation. The equivalence tests
+// train the production solver and this reference on the same data and
+// require matching models; see TestSolverMatchesReference.
+
+import "math"
+
+// refModel is the reference solver's output: f(x) = Σ coef·K(sv, x) + b.
+type refModel struct {
+	SupportVectors [][]float64
+	Coefs          []float64
+	B              float64
+	Iters          int
+	Converged      bool
+	kernel         Kernel
+}
+
+// Predict evaluates the reference regression function with the plain
+// per-support-vector kernel expansion.
+func (m *refModel) Predict(x []float64) float64 {
+	s := m.B
+	for i, sv := range m.SupportVectors {
+		s += m.Coefs[i] * m.kernel.Eval(sv, x)
+	}
+	return s
+}
+
+// refTrain is the pre-overhaul Train, minus input validation (the tests
+// feed it known-good data).
+func refTrain(xs [][]float64, ys []float64, k Kernel, p Params) *refModel {
+	n := len(xs)
+	if p.Tol <= 0 {
+		p.Tol = 1e-3
+	}
+	maxIter := p.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200 * n
+		if maxIter < 100_000 {
+			maxIter = 100_000
+		}
+	}
+	s := &refSolver{
+		xs: xs, ys: ys, k: k,
+		n: n, c: p.C, eps: p.Epsilon, tol: p.Tol,
+		cache: newRefRowCache(k, xs, p.CacheRows),
+	}
+	iters, converged := s.solve(maxIter)
+
+	m := &refModel{kernel: k, Iters: iters, Converged: converged}
+	for i := 0; i < n; i++ {
+		beta := s.alpha[i] - s.alpha[i+n]
+		if math.Abs(beta) > 1e-12 {
+			m.SupportVectors = append(m.SupportVectors, xs[i])
+			m.Coefs = append(m.Coefs, beta)
+		}
+	}
+	m.B = s.offset()
+	return m
+}
+
+type refSolver struct {
+	xs    [][]float64
+	ys    []float64
+	k     Kernel
+	n     int
+	c     float64
+	eps   float64
+	tol   float64
+	alpha []float64
+	grad  []float64
+	cache *refRowCache
+}
+
+func (s *refSolver) z(a int) float64 {
+	if a < s.n {
+		return 1
+	}
+	return -1
+}
+
+func (s *refSolver) p(a int) float64 {
+	if a < s.n {
+		return s.eps - s.ys[a]
+	}
+	return s.eps + s.ys[a-s.n]
+}
+
+func (s *refSolver) solve(maxIter int) (int, bool) {
+	n2 := 2 * s.n
+	s.alpha = make([]float64, n2)
+	s.grad = make([]float64, n2)
+	for a := 0; a < n2; a++ {
+		s.grad[a] = s.p(a)
+	}
+	for it := 0; it < maxIter; it++ {
+		i, j, gap := s.selectPair()
+		if gap < s.tol {
+			return it, true
+		}
+		s.update(i, j)
+	}
+	return maxIter, false
+}
+
+func (s *refSolver) selectPair() (int, int, float64) {
+	n2 := 2 * s.n
+	up := -1
+	upVal := math.Inf(-1)
+	for a := 0; a < n2; a++ {
+		z := s.z(a)
+		if (z > 0 && s.alpha[a] < s.c) || (z < 0 && s.alpha[a] > 0) {
+			if v := -z * s.grad[a]; v > upVal {
+				upVal, up = v, a
+			}
+		}
+	}
+	if up < 0 {
+		return 0, 0, 0
+	}
+	rowUp := s.cache.row(up % s.n)
+	kii := rowUp[up%s.n]
+
+	low := -1
+	lowVal := math.Inf(1)
+	bestGain := -1.0
+	const tau = 1e-12
+	for a := 0; a < n2; a++ {
+		z := s.z(a)
+		if (z < 0 && s.alpha[a] < s.c) || (z > 0 && s.alpha[a] > 0) {
+			v := -z * s.grad[a]
+			if v < lowVal {
+				lowVal = v
+			}
+			b := upVal - v
+			if b > 0 {
+				at := kii + s.cache.diag(a%s.n) - 2*rowUp[a%s.n]
+				if at <= 0 {
+					at = tau
+				}
+				if gain := b * b / at; gain > bestGain {
+					bestGain, low = gain, a
+				}
+			}
+		}
+	}
+	if low < 0 {
+		return 0, 0, 0
+	}
+	return up, low, upVal - lowVal
+}
+
+func (s *refSolver) update(i, j int) {
+	const tau = 1e-12
+	zi, zj := s.z(i), s.z(j)
+	rowI := s.cache.row(i % s.n)
+	rowJ := s.cache.row(j % s.n)
+	kii := rowI[i%s.n]
+	kjj := rowJ[j%s.n]
+	kij := rowI[j%s.n]
+
+	quad := kii + kjj - 2*kij
+	if quad <= 0 {
+		quad = tau
+	}
+	oldAi, oldAj := s.alpha[i], s.alpha[j]
+	if zi != zj {
+		delta := (-s.grad[i] - s.grad[j]) / quad
+		diff := s.alpha[i] - s.alpha[j]
+		s.alpha[i] += delta
+		s.alpha[j] += delta
+		if diff > 0 {
+			if s.alpha[j] < 0 {
+				s.alpha[j] = 0
+				s.alpha[i] = diff
+			}
+			if s.alpha[i] > s.c {
+				s.alpha[i] = s.c
+				s.alpha[j] = s.c - diff
+			}
+		} else {
+			if s.alpha[i] < 0 {
+				s.alpha[i] = 0
+				s.alpha[j] = -diff
+			}
+			if s.alpha[j] > s.c {
+				s.alpha[j] = s.c
+				s.alpha[i] = s.c + diff
+			}
+		}
+	} else {
+		delta := (s.grad[i] - s.grad[j]) / quad
+		sum := s.alpha[i] + s.alpha[j]
+		s.alpha[i] -= delta
+		s.alpha[j] += delta
+		if sum > s.c {
+			if s.alpha[i] > s.c {
+				s.alpha[i] = s.c
+				s.alpha[j] = sum - s.c
+			}
+		} else {
+			if s.alpha[j] < 0 {
+				s.alpha[j] = 0
+				s.alpha[i] = sum
+			}
+		}
+		if sum > s.c {
+			if s.alpha[j] > s.c {
+				s.alpha[j] = s.c
+				s.alpha[i] = sum - s.c
+			}
+		} else {
+			if s.alpha[i] < 0 {
+				s.alpha[i] = 0
+				s.alpha[j] = sum
+			}
+		}
+	}
+
+	dAi := s.alpha[i] - oldAi
+	dAj := s.alpha[j] - oldAj
+	if dAi == 0 && dAj == 0 {
+		return
+	}
+	n := s.n
+	for base := 0; base < n; base++ {
+		ki := rowI[base]
+		kj := rowJ[base]
+		v := zi*ki*dAi + zj*kj*dAj
+		s.grad[base] += v
+		s.grad[base+n] -= v
+	}
+}
+
+func (s *refSolver) offset() float64 {
+	n2 := 2 * s.n
+	sum, cnt := 0.0, 0
+	lo, hi := math.Inf(-1), math.Inf(1)
+	for a := 0; a < n2; a++ {
+		v := s.z(a) * s.grad[a]
+		switch {
+		case s.alpha[a] > 0 && s.alpha[a] < s.c:
+			sum += v
+			cnt++
+		case s.alpha[a] == 0:
+			if s.z(a) > 0 {
+				hi = math.Min(hi, v)
+			} else {
+				lo = math.Max(lo, v)
+			}
+		default:
+			if s.z(a) > 0 {
+				lo = math.Max(lo, v)
+			} else {
+				hi = math.Min(hi, v)
+			}
+		}
+	}
+	var mult float64
+	if cnt > 0 {
+		mult = sum / float64(cnt)
+	} else {
+		switch {
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			mult = 0
+		case math.IsInf(lo, -1):
+			mult = hi
+		case math.IsInf(hi, 1):
+			mult = lo
+		default:
+			mult = (lo + hi) / 2
+		}
+	}
+	return -mult
+}
+
+// refRowCache is the old FIFO-masquerading-as-LRU row cache, kept verbatim
+// so the reference solver reproduces the old numerics exactly.
+type refRowCache struct {
+	k     Kernel
+	xs    [][]float64
+	rows  map[int][]float64
+	lru   []int
+	cap   int
+	diags []float64
+}
+
+func newRefRowCache(k Kernel, xs [][]float64, capRows int) *refRowCache {
+	if capRows <= 0 {
+		capRows = 768
+	}
+	diags := make([]float64, len(xs))
+	for i, x := range xs {
+		diags[i] = k.Eval(x, x)
+	}
+	return &refRowCache{k: k, xs: xs, rows: map[int][]float64{}, cap: capRows, diags: diags}
+}
+
+func (c *refRowCache) diag(i int) float64 { return c.diags[i] }
+
+func (c *refRowCache) row(i int) []float64 {
+	if r, ok := c.rows[i]; ok {
+		return r
+	}
+	r := make([]float64, len(c.xs))
+	for j := range c.xs {
+		r[j] = c.k.Eval(c.xs[i], c.xs[j])
+	}
+	if len(c.rows) >= c.cap {
+		oldest := c.lru[0]
+		c.lru = c.lru[1:]
+		delete(c.rows, oldest)
+	}
+	c.rows[i] = r
+	c.lru = append(c.lru, i)
+	return r
+}

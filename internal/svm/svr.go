@@ -19,8 +19,21 @@ type Params struct {
 	Tol float64
 	// MaxIter caps SMO iterations; <=0 means 200×n with a floor of 100k.
 	MaxIter int
-	// CacheRows bounds the kernel row cache (default 768 rows).
+	// CacheRows bounds the kernel row cache in entries (default 768).
+	// Each cached row holds one float64 per training sample, so the byte
+	// budget of the cache is CacheRows × n × 8: the default over the
+	// paper-scale n ≈ 4.3k training set is ~26 MiB. Rows are evicted in
+	// true least-recently-used order; values below 2 are clamped to 2 (the
+	// solver reads two rows at once), and capacity changes training time
+	// but never the trained model.
 	CacheRows int
+	// DisableShrinking turns off the LIBSVM-style active-set shrinking
+	// heuristic (the -h 0 switch of LIBSVM). Shrinking cuts working-set
+	// selection from O(2n) to O(active) per iteration and is on by
+	// default; the solver always reconstructs the full gradient and
+	// re-checks every variable before declaring convergence, so the
+	// stopping criterion is identical either way.
+	DisableShrinking bool
 }
 
 // Model is a trained ε-SVR: f(x) = Σ coef_i·K(sv_i, x) + b.
@@ -33,10 +46,13 @@ type Model struct {
 	Iters     int
 	Converged bool
 
-	// Prediction fast paths, derived once by finalize: linear models
-	// collapse their support-vector expansion into one weight vector; RBF
+	// Prediction fast paths, derived once by finalize: the support
+	// vectors are flattened into one contiguous row-major matrix, linear
+	// models collapse their expansion into one weight vector, and RBF
 	// models precompute ‖sv‖² so every kernel evaluation reduces to a dot
-	// product (‖a−b‖² = ‖a‖² + ‖b‖² − 2 a·b).
+	// product (‖a−b‖² = ‖a‖² + ‖b‖² − 2 a·b). Predict allocates nothing.
+	svFlat     []float64
+	svDim      int
 	linWeights []float64
 	svNorms    []float64
 }
@@ -44,25 +60,40 @@ type Model struct {
 // finalize derives the kernel-specific prediction fast paths. Train and
 // Load call it on every constructed model.
 func (m *Model) finalize() {
-	switch k := m.kernel.(type) {
+	nsv := len(m.SupportVectors)
+	if nsv == 0 {
+		m.svFlat, m.svDim, m.linWeights, m.svNorms = nil, 0, nil, nil
+		return
+	}
+	dim := len(m.SupportVectors[0])
+	m.svDim = dim
+	m.svFlat = make([]float64, nsv*dim)
+	for i, sv := range m.SupportVectors {
+		copy(m.svFlat[i*dim:(i+1)*dim], sv)
+	}
+	// Re-point the public rows into the flat copy: the model then owns its
+	// support vectors outright instead of pinning the caller's (possibly
+	// much larger, contiguously allocated) training rows for its lifetime,
+	// and the data exists once, not twice.
+	for i := range m.SupportVectors {
+		m.SupportVectors[i] = m.sv(i)
+	}
+	m.linWeights, m.svNorms = nil, nil
+	switch m.kernel.(type) {
 	case Linear:
-		if len(m.SupportVectors) == 0 {
-			return
-		}
-		w := make([]float64, len(m.SupportVectors[0]))
-		for i, sv := range m.SupportVectors {
+		w := make([]float64, dim)
+		for i := 0; i < nsv; i++ {
 			c := m.Coefs[i]
-			for j, v := range sv {
+			for j, v := range m.sv(i) {
 				w[j] += c * v
 			}
 		}
 		m.linWeights = w
 	case RBF:
-		_ = k
-		norms := make([]float64, len(m.SupportVectors))
-		for i, sv := range m.SupportVectors {
+		norms := make([]float64, nsv)
+		for i := 0; i < nsv; i++ {
 			s := 0.0
-			for _, v := range sv {
+			for _, v := range m.sv(i) {
 				s += v * v
 			}
 			norms[i] = s
@@ -71,10 +102,15 @@ func (m *Model) finalize() {
 	}
 }
 
+// sv returns support vector i from the flattened matrix.
+func (m *Model) sv(i int) []float64 {
+	return m.svFlat[i*m.svDim : (i+1)*m.svDim : (i+1)*m.svDim]
+}
+
 // Kernel returns the kernel the model was trained with.
 func (m *Model) Kernel() Kernel { return m.kernel }
 
-// Predict evaluates the regression function at x.
+// Predict evaluates the regression function at x. It allocates nothing.
 func (m *Model) Predict(x []float64) float64 {
 	if m.linWeights != nil {
 		s := m.B
@@ -87,14 +123,15 @@ func (m *Model) Predict(x []float64) float64 {
 		return m.predictRBF(x)
 	}
 	s := m.B
-	for i, sv := range m.SupportVectors {
-		s += m.Coefs[i] * m.kernel.Eval(sv, x)
+	for i := range m.Coefs {
+		s += m.Coefs[i] * m.kernel.Eval(m.sv(i), x)
 	}
 	return s
 }
 
-// predictRBF evaluates an RBF model reusing the precomputed support-vector
-// norms; ‖x‖² is computed once and shared across all support vectors.
+// predictRBF evaluates an RBF model over the flattened support-vector
+// matrix, reusing the precomputed norms; ‖x‖² is computed once and shared
+// across all support vectors.
 func (m *Model) predictRBF(x []float64) float64 {
 	gamma := m.kernel.(RBF).Gamma
 	xn := 0.0
@@ -102,7 +139,8 @@ func (m *Model) predictRBF(x []float64) float64 {
 		xn += v * v
 	}
 	s := m.B
-	for i, sv := range m.SupportVectors {
+	for i, c := range m.Coefs {
+		sv := m.sv(i)
 		dot := 0.0
 		for j, v := range sv {
 			dot += v * x[j]
@@ -111,7 +149,7 @@ func (m *Model) predictRBF(x []float64) float64 {
 		if d < 0 {
 			d = 0 // guard against rounding below zero
 		}
-		s += m.Coefs[i] * math.Exp(-gamma*d)
+		s += c * math.Exp(-gamma*d)
 	}
 	return s
 }
@@ -122,17 +160,30 @@ func (m *Model) predictRBF(x []float64) float64 {
 const parallelBatchMin = 256
 
 // PredictBatch evaluates the model at every row of xs, sharding large
-// batches across GOMAXPROCS workers. Rows reuse the kernel-specific fast
-// paths prepared by finalize, so batch prediction never recomputes
-// per-support-vector quantities.
+// batches across GOMAXPROCS workers. It allocates only the result slice;
+// see PredictBatchInto for the allocation-free form.
 func (m *Model) PredictBatch(xs [][]float64) []float64 {
 	out := make([]float64, len(xs))
+	m.PredictBatchInto(out, xs)
+	return out
+}
+
+// PredictBatchInto evaluates the model at every row of xs into out (which
+// must have len(xs) entries). Rows reuse the kernel-specific fast paths
+// prepared by finalize — each row walks the shared flattened support-vector
+// matrix with no per-row state — so batches below the parallel threshold
+// (256 rows) allocate nothing; larger batches shard across GOMAXPROCS
+// goroutines, whose spawns are the only allocations.
+func (m *Model) PredictBatchInto(out []float64, xs [][]float64) {
+	if len(out) != len(xs) {
+		panic(fmt.Sprintf("svm: PredictBatchInto: %d outputs for %d inputs", len(out), len(xs)))
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if len(xs) < parallelBatchMin || workers <= 1 {
 		for i, x := range xs {
 			out[i] = m.Predict(x)
 		}
-		return out
+		return
 	}
 	if workers > len(xs) {
 		workers = len(xs)
@@ -153,7 +204,6 @@ func (m *Model) PredictBatch(xs [][]float64) []float64 {
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out
 }
 
 // NumSV returns the number of support vectors.
@@ -161,7 +211,8 @@ func (m *Model) NumSV() int { return len(m.SupportVectors) }
 
 // Train fits an ε-SVR on (xs, ys) with the given kernel. It implements SMO
 // on the standard 2n-variable dual with maximal-violating-pair working-set
-// selection and an LRU kernel row cache.
+// selection, kernel-specialized row computation over a flat design matrix,
+// LIBSVM-style active-set shrinking, and an LRU kernel row cache.
 func Train(xs [][]float64, ys []float64, k Kernel, p Params) (*Model, error) {
 	n := len(xs)
 	if n == 0 || len(ys) != n {
@@ -196,11 +247,11 @@ func Train(xs [][]float64, ys []float64, k Kernel, p Params) (*Model, error) {
 	}
 
 	s := &solver{
-		xs: xs, ys: ys, k: k,
-		n: n, c: p.C, eps: p.Epsilon, tol: p.Tol,
-		cache: newRowCache(k, xs, p.CacheRows),
+		ys: ys,
+		n:  n, c: p.C, eps: p.Epsilon, tol: p.Tol,
+		cache: newRowCache(k, newDesignMatrix(xs), p.CacheRows),
 	}
-	iters, converged := s.solve(maxIter)
+	iters, converged := s.solve(maxIter, !p.DisableShrinking)
 
 	// Collect support vectors: beta_i = alpha_i - alpha*_i != 0.
 	m := &Model{kernel: k, Iters: iters, Converged: converged}
@@ -216,23 +267,44 @@ func Train(xs [][]float64, ys []float64, k Kernel, p Params) (*Model, error) {
 	return m, nil
 }
 
+// shrinkInterval is how many SMO iterations pass between shrink attempts
+// (LIBSVM uses min(l, 1000) for dual dimension l).
+const shrinkInterval = 1000
+
 // solver holds SMO state for the 2n-variable ε-SVR dual:
 //
 //	min ½ αᵀQα + pᵀα  s.t.  zᵀα = 0, 0 ≤ α ≤ C
 //
 // with, for a < n (the αᵢ block, z=+1): p_a = ε − y_a, and for a ≥ n (the
 // αᵢ* block, z=−1): p_a = ε + y_{a−n}; Q_ab = z_a z_b K(x_{a%n}, x_{b%n}).
+//
+// The active set starts as all 2n variables; shrinking periodically removes
+// bound variables that cannot currently be selected, so selectPair and the
+// gradient refresh in update cost O(active) instead of O(2n). Gradient
+// entries of fully shrunk bases go stale and are reconstructed by unshrink
+// before convergence is declared (and before the offset is derived).
 type solver struct {
-	xs    [][]float64
-	ys    []float64
-	k     Kernel
-	n     int
-	c     float64
-	eps   float64
-	tol   float64
-	alpha []float64 // 2n
-	grad  []float64 // 2n
+	ys  []float64
+	n   int
+	c   float64
+	eps float64
+	tol float64
+
+	alpha []float64 // 2n dual variables
+	grad  []float64 // 2n gradient; stale for bases outside activeBases
 	cache *rowCache
+
+	// The active set is kept as two ascending lists split by dual block
+	// (z=+1 variables a < n, z=−1 variables a ≥ n): iterating the first
+	// then the second visits variables in ascending index order — the
+	// same tie-breaking order as a full 0..2n scan — without a per-element
+	// block branch.
+	activePos   []int  // active variables < n, ascending
+	activeNeg   []int  // active variables ≥ n, ascending
+	activeBases []int  // bases with ≥1 active variable, ascending
+	baseActive  []bool // len n, membership mask for activeBases
+	fullActive  bool   // active covers all 2n variables
+	unshrunk    bool   // the one-time near-convergence unshrink happened
 }
 
 func (s *solver) z(a int) float64 {
@@ -250,37 +322,93 @@ func (s *solver) p(a int) float64 {
 }
 
 // solve runs SMO until convergence or maxIter, returning (iters, converged).
-func (s *solver) solve(maxIter int) (int, bool) {
+func (s *solver) solve(maxIter int, shrinking bool) (int, bool) {
 	n2 := 2 * s.n
 	s.alpha = make([]float64, n2)
 	s.grad = make([]float64, n2)
 	for a := 0; a < n2; a++ {
 		s.grad[a] = s.p(a) // alpha = 0 initially
 	}
+	s.baseActive = make([]bool, s.n)
+	s.activateAll()
+
+	interval := shrinkInterval
+	if n2 < interval {
+		interval = n2
+	}
+	counter := interval
 
 	for it := 0; it < maxIter; it++ {
+		if shrinking {
+			if counter--; counter == 0 {
+				counter = interval
+				s.shrink()
+			}
+		}
 		i, j, gap := s.selectPair()
 		if gap < s.tol {
-			return it, true
+			if s.fullActive {
+				return it, true
+			}
+			// Converged on the shrunk problem only: reconstruct the
+			// stale gradients, restore every variable, and re-check
+			// against the full set before declaring convergence.
+			s.unshrink()
+			counter = 1 // re-shrink on the next iteration (LIBSVM)
+			i, j, gap = s.selectPair()
+			if gap < s.tol {
+				return it, true
+			}
 		}
 		s.update(i, j)
+	}
+	if !s.fullActive {
+		s.unshrink() // offset needs fresh gradients for every variable
 	}
 	return maxIter, false
 }
 
+// activateAll restores the full 2n-variable active set.
+func (s *solver) activateAll() {
+	n := s.n
+	if cap(s.activePos) < n {
+		s.activePos = make([]int, n)
+		s.activeNeg = make([]int, n)
+		s.activeBases = make([]int, n)
+	}
+	s.activePos = s.activePos[:n]
+	s.activeNeg = s.activeNeg[:n]
+	s.activeBases = s.activeBases[:n]
+	for b := 0; b < n; b++ {
+		s.activePos[b] = b
+		s.activeNeg[b] = b + n
+		s.activeBases[b] = b
+		s.baseActive[b] = true
+	}
+	s.fullActive = true
+}
+
 // selectPair picks the working pair with second-order selection (LIBSVM
-// WSS2): i is the maximal violator in I_up; j maximizes the guaranteed
-// objective decrease b²/a among I_low candidates. The returned gap is the
-// first-order KKT violation used as the stopping criterion.
+// WSS2) over the active set: i is the maximal violator in I_up; j maximizes
+// the guaranteed objective decrease b²/a among I_low candidates. The
+// returned gap is the first-order KKT violation used as the stopping
+// criterion.
 func (s *solver) selectPair() (int, int, float64) {
-	n2 := 2 * s.n
+	n := s.n
+	alpha, grad, c := s.alpha, s.grad, s.c
 	up := -1
 	upVal := math.Inf(-1)
-	for a := 0; a < n2; a++ {
-		z := s.z(a)
-		// a ∈ I_up: α can still move in the +z direction.
-		if (z > 0 && s.alpha[a] < s.c) || (z < 0 && s.alpha[a] > 0) {
-			if v := -z * s.grad[a]; v > upVal {
+	// a ∈ I_up: α can still move in the +z direction.
+	for _, a := range s.activePos {
+		if alpha[a] < c {
+			if v := -grad[a]; v > upVal {
+				upVal, up = v, a
+			}
+		}
+	}
+	for _, a := range s.activeNeg {
+		if alpha[a] > 0 {
+			if v := grad[a]; v > upVal {
 				upVal, up = v, a
 			}
 		}
@@ -288,31 +416,51 @@ func (s *solver) selectPair() (int, int, float64) {
 	if up < 0 {
 		return 0, 0, 0
 	}
-	rowUp := s.cache.row(up % s.n)
-	kii := rowUp[up%s.n]
+	upBase := up % n
+	rowUp := s.cache.row(upBase)
+	kii := rowUp[upBase]
+	diags := s.cache.diags
 
 	low := -1
 	lowVal := math.Inf(1)
 	bestGain := -1.0
 	const tau = 1e-12
-	for a := 0; a < n2; a++ {
-		z := s.z(a)
-		// a ∈ I_low: α can still move in the −z direction.
-		if (z < 0 && s.alpha[a] < s.c) || (z > 0 && s.alpha[a] > 0) {
-			v := -z * s.grad[a]
-			if v < lowVal {
-				lowVal = v
+	// a ∈ I_low: α can still move in the −z direction.
+	for _, a := range s.activePos {
+		if alpha[a] <= 0 {
+			continue
+		}
+		v := -grad[a]
+		if v < lowVal {
+			lowVal = v
+		}
+		if b := upVal - v; b > 0 {
+			// at = K_ii + K_tt − 2K_it = ‖φ(x_i) − φ(x_t)‖².
+			at := kii + diags[a] - 2*rowUp[a]
+			if at <= 0 {
+				at = tau
 			}
-			b := upVal - v
-			if b > 0 {
-				// a_t = K_ii + K_tt − 2K_it = ‖φ(x_i) − φ(x_t)‖².
-				at := kii + s.cache.diag(a%s.n) - 2*rowUp[a%s.n]
-				if at <= 0 {
-					at = tau
-				}
-				if gain := b * b / at; gain > bestGain {
-					bestGain, low = gain, a
-				}
+			if gain := b * b / at; gain > bestGain {
+				bestGain, low = gain, a
+			}
+		}
+	}
+	for _, a := range s.activeNeg {
+		if alpha[a] >= c {
+			continue
+		}
+		v := grad[a]
+		if v < lowVal {
+			lowVal = v
+		}
+		if b := upVal - v; b > 0 {
+			base := a - n
+			at := kii + diags[base] - 2*rowUp[base]
+			if at <= 0 {
+				at = tau
+			}
+			if gain := b * b / at; gain > bestGain {
+				bestGain, low = gain, a
 			}
 		}
 	}
@@ -322,13 +470,8 @@ func (s *solver) selectPair() (int, int, float64) {
 	return up, low, upVal - lowVal
 }
 
-// q returns Q_ab.
-func (s *solver) q(a, b int) float64 {
-	return s.z(a) * s.z(b) * s.cache.at(a%s.n, b%s.n)
-}
-
 // update performs the analytic two-variable optimization for pair (i, j),
-// then refreshes the gradient.
+// then refreshes the gradient of every active base.
 func (s *solver) update(i, j int) {
 	const tau = 1e-12
 	zi, zj := s.z(i), s.z(j)
@@ -405,16 +548,155 @@ func (s *solver) update(i, j int) {
 	if dAi == 0 && dAj == 0 {
 		return
 	}
-	// Gradient update: G_a += Q_ai dAi + Q_aj dAj, exploiting the block
-	// structure Q_ab = z_a z_b K_(a%n)(b%n).
+	// Gradient update over active bases: G_a += Q_ai dAi + Q_aj dAj,
+	// exploiting the block structure Q_ab = z_a z_b K_(a%n)(b%n). Both
+	// entries of a base share one kernel term, so updating the pair costs
+	// the same as updating either half.
 	n := s.n
-	for base := 0; base < n; base++ {
+	grad := s.grad
+	for _, base := range s.activeBases {
 		ki := rowI[base]
 		kj := rowJ[base]
 		v := zi*ki*dAi + zj*kj*dAj
-		s.grad[base] += v   // z_a = +1
-		s.grad[base+n] -= v // z_a = -1
+		grad[base] += v   // z_a = +1
+		grad[base+n] -= v // z_a = -1
 	}
+}
+
+// shrink removes bound variables that can no longer be selected from the
+// active set (LIBSVM do_shrinking): with m = max I_up and M = min I_low of
+// the violation values −z·G, an I_up-only variable below M or an
+// I_low-only variable above m cannot form a violating pair until the
+// gradient landscape shifts, so it is parked until unshrink. Free
+// variables always stay active. Near convergence (gap ≤ 10·tol) the full
+// gradient is reconstructed once first, so the final rounds shrink from
+// exact values.
+func (s *solver) shrink() {
+	n := s.n
+	m := math.Inf(-1)
+	M := math.Inf(1)
+	for _, a := range s.activePos {
+		v := -s.grad[a]
+		if s.alpha[a] < s.c && v > m {
+			m = v
+		}
+		if s.alpha[a] > 0 && v < M {
+			M = v
+		}
+	}
+	for _, a := range s.activeNeg {
+		v := s.grad[a]
+		if s.alpha[a] > 0 && v > m {
+			m = v
+		}
+		if s.alpha[a] < s.c && v < M {
+			M = v
+		}
+	}
+
+	if !s.unshrunk && m-M <= 10*s.tol {
+		s.unshrunk = true
+		s.unshrink()
+	}
+
+	keptPos := s.activePos[:0]
+	for _, a := range s.activePos {
+		if s.keepActive(a, m, M) {
+			keptPos = append(keptPos, a)
+		}
+	}
+	s.activePos = keptPos
+	keptNeg := s.activeNeg[:0]
+	for _, a := range s.activeNeg {
+		if s.keepActive(a, m, M) {
+			keptNeg = append(keptNeg, a)
+		}
+	}
+	s.activeNeg = keptNeg
+	s.fullActive = len(s.activePos)+len(s.activeNeg) == 2*n
+
+	// Rebuild the active base list as the sorted union of the two block
+	// lists (both already ascending).
+	for b := range s.baseActive {
+		s.baseActive[b] = false
+	}
+	bases := s.activeBases[:0]
+	i, j := 0, 0
+	for i < len(s.activePos) || j < len(s.activeNeg) {
+		var b int
+		switch {
+		case i >= len(s.activePos):
+			b = s.activeNeg[j] - n
+			j++
+		case j >= len(s.activeNeg) || s.activePos[i] < s.activeNeg[j]-n:
+			b = s.activePos[i]
+			i++
+		case s.activePos[i] == s.activeNeg[j]-n:
+			b = s.activePos[i]
+			i++
+			j++
+		default:
+			b = s.activeNeg[j] - n
+			j++
+		}
+		bases = append(bases, b)
+		s.baseActive[b] = true
+	}
+	s.activeBases = bases
+}
+
+// keepActive reports whether variable a must stay active given the current
+// maximal violation bounds m (max over I_up) and M (min over I_low).
+func (s *solver) keepActive(a int, m, M float64) bool {
+	atLower := s.alpha[a] == 0
+	atUpper := s.alpha[a] == s.c
+	if !atLower && !atUpper {
+		return true // free variables always participate
+	}
+	var v float64 // −z·G, the violation value
+	if a < s.n {
+		v = -s.grad[a]
+	} else {
+		v = s.grad[a]
+	}
+	// A bound variable sits in exactly one of I_up / I_low.
+	inUp := (a < s.n && !atUpper) || (a >= s.n && !atLower)
+	if inUp {
+		return v >= M
+	}
+	return v <= m
+}
+
+// unshrink reconstructs the stale gradient entries of every fully shrunk
+// base and restores the full active set. Reconstruction exploits the block
+// structure: G_a = p_a + z_a f_(a%n) with f_i = Σ_j β_j K_ij, accumulated
+// column-wise with one cached kernel row per nonzero β.
+func (s *solver) unshrink() {
+	n := s.n
+	if len(s.activeBases) < n {
+		stale := make([]int, 0, n-len(s.activeBases))
+		for b := 0; b < n; b++ {
+			if !s.baseActive[b] {
+				stale = append(stale, b)
+			}
+		}
+		f := make([]float64, n)
+		for j := 0; j < n; j++ {
+			beta := s.alpha[j] - s.alpha[j+n]
+			if beta == 0 {
+				continue
+			}
+			row := s.cache.row(j)
+			for _, b := range stale {
+				f[b] += beta * row[b]
+			}
+		}
+		for _, b := range stale {
+			s.grad[b] = s.p(b) + f[b]
+			s.grad[b+n] = s.p(b+n) - f[b]
+		}
+	}
+	s.activateAll()
 }
 
 // offset derives the bias term b of f(x) = Σβ K + b from the KKT
@@ -462,60 +744,4 @@ func (s *solver) offset() float64 {
 		}
 	}
 	return -mult
-}
-
-// rowCache is an LRU cache of kernel matrix rows.
-type rowCache struct {
-	k     Kernel
-	xs    [][]float64
-	rows  map[int][]float64
-	lru   []int
-	cap   int
-	diags []float64
-}
-
-func newRowCache(k Kernel, xs [][]float64, capRows int) *rowCache {
-	if capRows <= 0 {
-		capRows = 768
-	}
-	diags := make([]float64, len(xs))
-	for i, x := range xs {
-		diags[i] = k.Eval(x, x)
-	}
-	return &rowCache{k: k, xs: xs, rows: map[int][]float64{}, cap: capRows, diags: diags}
-}
-
-// diag returns K(x_i, x_i) from the precomputed diagonal.
-func (c *rowCache) diag(i int) float64 { return c.diags[i] }
-
-// row returns the full kernel row for base index i, computing and caching
-// it on demand.
-func (c *rowCache) row(i int) []float64 {
-	if r, ok := c.rows[i]; ok {
-		return r
-	}
-	r := make([]float64, len(c.xs))
-	for j := range c.xs {
-		r[j] = c.k.Eval(c.xs[i], c.xs[j])
-	}
-	if len(c.rows) >= c.cap {
-		// Evict the oldest cached row.
-		oldest := c.lru[0]
-		c.lru = c.lru[1:]
-		delete(c.rows, oldest)
-	}
-	c.rows[i] = r
-	c.lru = append(c.lru, i)
-	return r
-}
-
-// at returns K(x_i, x_j), via the cache when available.
-func (c *rowCache) at(i, j int) float64 {
-	if r, ok := c.rows[i]; ok {
-		return r[j]
-	}
-	if r, ok := c.rows[j]; ok {
-		return r[i]
-	}
-	return c.k.Eval(c.xs[i], c.xs[j])
 }

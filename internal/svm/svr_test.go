@@ -285,6 +285,7 @@ func TestLoadRejectsBad(t *testing.T) {
 		"not json",
 		`{"kernel":{"type":"mystery"},"support_vectors":[],"coefs":[],"b":0}`,
 		`{"kernel":{"type":"linear"},"support_vectors":[[1]],"coefs":[],"b":0}`,
+		`{"kernel":{"type":"linear"},"support_vectors":[[1,2],[3]],"coefs":[1,1],"b":0}`,
 	}
 	for _, c := range cases {
 		if _, err := Load(bytes.NewReader([]byte(c))); err == nil {
