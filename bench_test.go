@@ -129,16 +129,16 @@ func BenchmarkFig8(b *testing.B) {
 func BenchmarkTable2(b *testing.B) {
 	s := paperSuite(b)
 	for i := 0; i < b.N; i++ {
-		rows, err := s.Table2()
+		rep, err := s.Table2()
 		if err != nil {
 			b.Fatal(err)
 		}
 		var worst float64
-		for _, r := range rows {
+		for _, r := range rep.Rows {
 			worst = math.Max(worst, r.D)
 		}
 		b.ReportMetric(worst, "worstD")
-		emitOnce("table2", func(w io.Writer) { experiments.RenderTable2(w, rows) })
+		emitOnce("table2", func(w io.Writer) { experiments.RenderTable2(w, rep) })
 	}
 }
 

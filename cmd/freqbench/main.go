@@ -4,11 +4,15 @@
 // Usage:
 //
 //	freqbench [-exp fig1|fig4|fig5|fig6|fig7|fig8|table2|policy|p100|all] [-settings 40] [-workers 0]
+//	          [-model-dir DIR]
 //
-// fig6/fig7/fig8/table2/policy train the models on the full
-// 106-micro-benchmark training set first; training is sharded over the
-// engine's worker pool. policy evaluates every built-in frequency-selection
-// policy against the measured oracle on both GPU profiles.
+// fig6/fig7/fig8/table2 train the models on the full 106-micro-benchmark
+// training set first — or, with -model-dir, load the registry's active
+// Titan X snapshot instead of training. Every model-dependent table
+// records the model version (and content hash) it was produced from.
+// policy and p100 always train per-device engines (they evaluate both GPU
+// profiles, including devices a Titan X snapshot cannot serve), so their
+// tables carry "in-memory" provenance regardless of -model-dir.
 package main
 
 import (
@@ -19,18 +23,35 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/registry"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig1, fig4, fig5, fig6, fig7, fig8, table2, policy, p100, all")
 	settings := flag.Int("settings", 40, "sampled frequency settings per training kernel")
 	workers := flag.Int("workers", 0, "training/prediction worker pool size (0 = NumCPU)")
+	modelDir := flag.String("model-dir", "", "model registry directory (use the active titanx snapshot instead of training)")
 	flag.Parse()
 
-	s := experiments.NewSuiteWithEngine(engine.NewDefault(engine.Options{
+	eng := engine.NewDefault(engine.Options{
 		Workers: *workers,
 		Core:    core.Options{SettingsPerKernel: *settings},
-	}))
+	})
+	s := experiments.NewSuiteWithEngine(eng)
+	if *modelDir != "" {
+		store, err := registry.Open(*modelDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "freqbench:", err)
+			os.Exit(1)
+		}
+		models, man, err := store.Load("titanx", "")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "freqbench:", err)
+			os.Exit(1)
+		}
+		eng.SetModels(models)
+		s.SetModelVersion(man.Version)
+	}
 	if err := run(s, *exp); err != nil {
 		fmt.Fprintln(os.Stderr, "freqbench:", err)
 		os.Exit(1)
@@ -73,11 +94,11 @@ func run(s *experiments.Suite, exp string) error {
 		}
 		experiments.RenderFig8(w, data)
 	case "table2":
-		rows, err := s.Table2()
+		rep, err := s.Table2()
 		if err != nil {
 			return err
 		}
-		experiments.RenderTable2(w, rows)
+		experiments.RenderTable2(w, rep)
 	case "policy":
 		tables, err := experiments.PolicyEval(s.Engine().Options())
 		if err != nil {

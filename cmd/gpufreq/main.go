@@ -1,24 +1,32 @@
 // Command gpufreq is the user-facing CLI of the frequency-scaling
 // prediction framework: it extracts static features from OpenCL kernels,
 // inspects the simulated devices' clock tables, trains the speedup/energy
-// models on the synthetic micro-benchmarks, and predicts Pareto-optimal
-// frequency configurations for new kernels without executing them.
+// models on the synthetic micro-benchmarks, manages the versioned model
+// registry, and predicts Pareto-optimal frequency configurations for new
+// kernels without executing them.
 //
 // Usage (flags come before the positional argument):
 //
 //	gpufreq clocks [-device titanx|p100]
 //	gpufreq features [-kernel name] <kernel.cl>
 //	gpufreq train [-out models.json] [-settings 40] [-workers 0]
-//	gpufreq predict [-model models.json] [-kernel name] [-workers 0] <kernel.cl>
+//	gpufreq save [-model-dir DIR] [-device titanx|p100] [-settings 40] [-workers 0]
+//	gpufreq load [-model-dir DIR] [-device titanx|p100] [-version vNNNN] [-out models.json]
+//	gpufreq models [-model-dir DIR] [-device titanx|p100]
+//	gpufreq predict [-model models.json | -model-dir DIR] [-kernel name] [-workers 0] <kernel.cl>
 //	gpufreq select [-policy min-energy] [-max-slowdown 0.1] [-energy-budget 1.0]
-//	               [-device titanx|p100] [-model models.json] [-kernel name] <kernel.cl>
+//	               [-device titanx|p100] [-model models.json | -model-dir DIR]
+//	               [-kernel name] <kernel.cl>
 //	gpufreq select -list
 //	gpufreq characterize <benchmark>
 //
 // Training, prediction and policy selection run through the concurrent
 // engine (internal/engine) and the policy governor (internal/policy);
-// -workers sizes the engine pool (0 = NumCPU). For a long-running HTTP
-// service over the same engine, see cmd/gpufreqd.
+// -workers sizes the engine pool (0 = NumCPU). save/load/models operate on
+// the same versioned snapshot registry (internal/registry) that
+// cmd/gpufreqd serves from, so a model trained and saved here can be
+// activated on a running daemon and vice versa. For the long-running HTTP
+// service over the same engine and registry, see cmd/gpufreqd.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -37,6 +46,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/nvml"
 	"repro/internal/policy"
+	"repro/internal/registry"
 )
 
 func main() {
@@ -52,6 +62,12 @@ func main() {
 		err = cmdFeatures(os.Args[2:])
 	case "train":
 		err = cmdTrain(os.Args[2:])
+	case "save":
+		err = cmdSave(os.Args[2:])
+	case "load":
+		err = cmdLoad(os.Args[2:])
+	case "models":
+		err = cmdModels(os.Args[2:])
 	case "predict":
 		err = cmdPredict(os.Args[2:])
 	case "select":
@@ -78,6 +94,9 @@ Commands:
   clocks        print the supported memory/core clock combinations
   features      extract the static code features of an OpenCL kernel
   train         train the speedup and energy models on the 106 micro-benchmarks
+  save          train and publish a versioned snapshot into a model registry
+  load          load (and verify) a snapshot from a model registry
+  models        list the snapshots of a model registry
   predict       predict the Pareto-optimal frequency settings of a kernel
   select        resolve a named policy to one chosen frequency configuration
   characterize  measure a built-in test benchmark across all configurations
@@ -184,9 +203,178 @@ func cmdTrain(args []string) error {
 	return nil
 }
 
+// cmdSave trains on the chosen device and publishes the result as a
+// versioned snapshot in the registry — the offline producer for the
+// model directory cmd/gpufreqd serves from.
+func cmdSave(args []string) error {
+	fs := flag.NewFlagSet("save", flag.ExitOnError)
+	modelDir := fs.String("model-dir", "models", "model registry directory")
+	dev := fs.String("device", "titanx", "device model: titanx or p100")
+	settings := fs.Int("settings", 40, "sampled frequency settings per micro-benchmark")
+	workers := fs.Int("workers", 0, "training worker pool size (0 = NumCPU)")
+	activate := fs.Bool("activate", true, "activate the snapshot after publishing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := device(*dev)
+	if err != nil {
+		return err
+	}
+	store, err := registry.Open(*modelDir)
+	if err != nil {
+		return err
+	}
+	eng := engine.New(measure.NewHarness(nvml.NewDevice(d)), engine.Options{
+		Workers: *workers,
+		Core:    core.Options{SettingsPerKernel: *settings},
+	})
+	ctx, stop := interruptContext()
+	defer stop()
+	start := time.Now()
+	models, err := trainEngine(ctx, eng)
+	if err != nil {
+		return err
+	}
+	kernels := engine.TrainingKernels()
+	perKernel := len(core.TrainingSettings(eng.Harness(), eng.Options().Core))
+	man, err := store.Save(*dev, "", models, registry.Training{
+		SettingsPerKernel: *settings,
+		Kernels:           len(kernels),
+		Samples:           len(kernels) * perKernel,
+		DurationMS:        float64(time.Since(start).Microseconds()) / 1000,
+	})
+	if err != nil {
+		return err
+	}
+	if *activate {
+		if err := store.Activate(*dev, man.Version); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("published %s/%s to %s (hash %.8s…, activate=%v)\n",
+		man.Device, man.Version, *modelDir, man.Hash, *activate)
+	return nil
+}
+
+// cmdLoad loads (and thereby integrity-checks) a snapshot from the
+// registry, prints its manifest summary, and optionally exports it as a
+// flat models file.
+func cmdLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	modelDir := fs.String("model-dir", "models", "model registry directory")
+	dev := fs.String("device", "titanx", "device model: titanx or p100")
+	version := fs.String("version", "", "snapshot version (default: the active one)")
+	out := fs.String("out", "", "export the loaded models to this flat file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, err := registry.Open(*modelDir)
+	if err != nil {
+		return err
+	}
+	models, man, err := store.Load(*dev, *version)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("version:  %s/%s\n", man.Device, man.Version)
+	fmt.Printf("created:  %s\n", man.CreatedAt.Format(time.RFC3339))
+	fmt.Printf("hash:     %s\n", man.Hash)
+	fmt.Printf("training: %d kernels × %d settings = %d samples (%.0f ms)\n",
+		man.Training.Kernels, man.Training.SettingsPerKernel,
+		man.Training.Samples, man.Training.DurationMS)
+	fmt.Printf("speedup:  %d SVs, %d iters, converged=%v\n",
+		man.SpeedupModel.SupportVectors, man.SpeedupModel.Iters, man.SpeedupModel.Converged)
+	fmt.Printf("energy:   %d SVs, %d iters, converged=%v\n",
+		man.EnergyModel.SupportVectors, man.EnergyModel.Iters, man.EnergyModel.Converged)
+	if *out != "" {
+		if err := models.SaveFile(*out); err != nil {
+			return err
+		}
+		fmt.Printf("exported to %s\n", *out)
+	}
+	return nil
+}
+
+// cmdModels lists the registry's snapshots for a device.
+func cmdModels(args []string) error {
+	fs := flag.NewFlagSet("models", flag.ExitOnError)
+	modelDir := fs.String("model-dir", "models", "model registry directory")
+	dev := fs.String("device", "titanx", "device model: titanx or p100")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, err := registry.Open(*modelDir)
+	if err != nil {
+		return err
+	}
+	entries, err := store.List(*dev)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		fmt.Printf("no snapshots for %s in %s\n", *dev, *modelDir)
+		return nil
+	}
+	fmt.Printf("%-8s %-3s %-20s %8s %9s %10s  %s\n",
+		"version", "", "created", "samples", "settings", "hash", "")
+	for _, e := range entries {
+		if e.Err != "" {
+			fmt.Printf("%-8s %-3s CORRUPT: %s\n", e.Version, "", e.Err)
+			continue
+		}
+		marker := ""
+		if e.Active {
+			marker = "*"
+		}
+		fmt.Printf("%-8s %-3s %-20s %8d %9d %10.8s…\n",
+			e.Version, marker, e.CreatedAt.Format("2006-01-02 15:04:05"),
+			e.Training.Samples, e.Training.SettingsPerKernel, e.Hash)
+	}
+	if prev, ok := store.Previous(*dev); ok {
+		fmt.Printf("rollback target: %s\n", prev)
+	}
+	return nil
+}
+
+// resolveModels installs models into the engine from, in order of
+// precedence: a registry's active (or named) snapshot, a flat model file,
+// or an in-process training run. It is the shared model-acquisition path
+// of predict and select.
+func resolveModels(eng *engine.Engine, modelDir, deviceName, version, modelPath string) error {
+	switch {
+	case modelDir != "":
+		store, err := registry.Open(modelDir)
+		if err != nil {
+			return err
+		}
+		models, man, err := store.Load(deviceName, version)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s/%s from %s (hash %.8s…)\n",
+			man.Device, man.Version, modelDir, man.Hash)
+		eng.SetModels(models)
+		return nil
+	case modelPath != "":
+		models, err := core.LoadFile(modelPath)
+		if err != nil {
+			return err
+		}
+		eng.SetModels(models)
+		return nil
+	default:
+		ctx, stop := interruptContext()
+		defer stop()
+		_, err := trainEngine(ctx, eng)
+		return err
+	}
+}
+
 func cmdPredict(args []string) error {
 	fs := flag.NewFlagSet("predict", flag.ExitOnError)
 	modelPath := fs.String("model", "", "trained models file (default: train in-process)")
+	modelDir := fs.String("model-dir", "", "model registry directory (use the active snapshot)")
+	version := fs.String("version", "", "registry snapshot version (default: the active one)")
 	kernel := fs.String("kernel", "", "kernel name (default: first kernel)")
 	settings := fs.Int("settings", 40, "training settings when no model file is given")
 	workers := fs.Int("workers", 0, "worker pool size (0 = NumCPU)")
@@ -194,25 +382,15 @@ func cmdPredict(args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: gpufreq predict [-model models.json] <kernel.cl>")
+		return fmt.Errorf("usage: gpufreq predict [-model models.json | -model-dir DIR] <kernel.cl>")
 	}
 	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		return err
 	}
 	eng := newEngine(*settings, *workers)
-	if *modelPath != "" {
-		models, err := core.LoadFile(*modelPath)
-		if err != nil {
-			return err
-		}
-		eng.SetModels(models)
-	} else {
-		ctx, stop := interruptContext()
-		defer stop()
-		if _, err := trainEngine(ctx, eng); err != nil {
-			return err
-		}
+	if err := resolveModels(eng, *modelDir, "titanx", *version, *modelPath); err != nil {
+		return err
 	}
 	pred, err := eng.Predictor()
 	if err != nil {
@@ -242,6 +420,8 @@ func cmdSelect(args []string) error {
 	includeHeuristic := fs.Bool("include-heuristic", false, "admit the mem-L heuristic configuration as a candidate")
 	dev := fs.String("device", "titanx", "device model: titanx or p100")
 	modelPath := fs.String("model", "", "trained models file (default: train in-process)")
+	modelDir := fs.String("model-dir", "", "model registry directory (use the active snapshot)")
+	version := fs.String("version", "", "registry snapshot version (default: the active one)")
 	kernel := fs.String("kernel", "", "kernel name (default: first kernel)")
 	settings := fs.Int("settings", 40, "training settings when no model file is given")
 	workers := fs.Int("workers", 0, "worker pool size (0 = NumCPU)")
@@ -283,18 +463,8 @@ func cmdSelect(args []string) error {
 		Workers: *workers,
 		Core:    core.Options{SettingsPerKernel: *settings},
 	})
-	if *modelPath != "" {
-		models, err := core.LoadFile(*modelPath)
-		if err != nil {
-			return err
-		}
-		eng.SetModels(models)
-	} else {
-		ctx, stop := interruptContext()
-		defer stop()
-		if _, err := trainEngine(ctx, eng); err != nil {
-			return err
-		}
+	if err := resolveModels(eng, *modelDir, *dev, *version, *modelPath); err != nil {
+		return err
 	}
 	pred, err := eng.Predictor()
 	if err != nil {

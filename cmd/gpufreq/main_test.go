@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/measure"
 	"repro/internal/nvml"
+	"repro/internal/registry"
 )
 
 // newEngineOn builds a small-training engine for the named device.
@@ -138,6 +139,69 @@ func TestCmdSelectEndToEnd(t *testing.T) {
 	// The no-model branch trains in-process before deciding.
 	if err := cmdSelect([]string{"-settings", "4", "-workers", "4", kpath}); err != nil {
 		t.Errorf("select with in-process training: %v", err)
+	}
+}
+
+// TestCmdSaveLoadModels exercises the registry subcommands end to end:
+// save publishes and activates a snapshot, models lists it, load verifies
+// and exports it, and predict/select serve from the same directory.
+func TestCmdSaveLoadModels(t *testing.T) {
+	dir := t.TempDir()
+	modelDir := filepath.Join(dir, "models")
+	kpath := filepath.Join(dir, "k.cl")
+	src := `__kernel void k(__global const float* a, __global float* o, int n) {
+		int i = get_global_id(0);
+		if (i < n) o[i] = a[i] * 2.0f;
+	}`
+	if err := os.WriteFile(kpath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cmdSave([]string{"-model-dir", modelDir, "-settings", "4", "-workers", "4"}); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	store, err := registry.Open(modelDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := store.Active("titanx"); !ok || v != "v0001" {
+		t.Fatalf("save did not activate: %q, %v", v, ok)
+	}
+
+	if err := cmdModels([]string{"-model-dir", modelDir}); err != nil {
+		t.Fatalf("models: %v", err)
+	}
+	if err := cmdModels([]string{"-model-dir", modelDir, "-device", "p100"}); err != nil {
+		t.Fatalf("models (empty device): %v", err)
+	}
+
+	flat := filepath.Join(dir, "exported.json")
+	if err := cmdLoad([]string{"-model-dir", modelDir, "-out", flat}); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if _, err := core.LoadFile(flat); err != nil {
+		t.Fatalf("exported flat file unreadable: %v", err)
+	}
+	if err := cmdLoad([]string{"-model-dir", modelDir, "-version", "v0042"}); err == nil {
+		t.Fatal("load of a missing version should fail")
+	}
+
+	if err := cmdPredict([]string{"-model-dir", modelDir, kpath}); err != nil {
+		t.Fatalf("predict -model-dir: %v", err)
+	}
+	if err := cmdSelect([]string{"-model-dir", modelDir, "-policy", "edp", kpath}); err != nil {
+		t.Fatalf("select -model-dir: %v", err)
+	}
+
+	// A second save mints v0002 and becomes active.
+	if err := cmdSave([]string{"-model-dir", modelDir, "-settings", "4", "-workers", "4"}); err != nil {
+		t.Fatalf("second save: %v", err)
+	}
+	if v, _ := store.Active("titanx"); v != "v0002" {
+		t.Fatalf("second save active = %q, want v0002", v)
+	}
+	if prev, ok := store.Previous("titanx"); !ok || prev != "v0001" {
+		t.Fatalf("previous = %q, %v; want v0001", prev, ok)
 	}
 }
 

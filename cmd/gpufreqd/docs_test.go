@@ -2,27 +2,58 @@ package main
 
 import (
 	"os"
+	"regexp"
 	"strings"
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/registry"
 )
 
-// TestAPIDocsCoverRoutes keeps docs/API.md honest: every route the server
-// actually registers must be mentioned there. CI runs this as part of the
-// docs job, so adding an endpoint without documenting it fails the build.
+// docsServer builds a server purely for route introspection.
+func docsServer(t *testing.T) *server {
+	t.Helper()
+	store, err := registry.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(engine.NewDefault(engine.Options{}), store, "titanx")
+}
+
+// TestAPIDocsCoverRoutes keeps docs/API.md honest in both directions:
+// every route the server actually registers must be mentioned there, and
+// every route the doc's table claims must actually be registered — so CI
+// fails on undocumented routes and on documentation for routes that no
+// longer exist.
 func TestAPIDocsCoverRoutes(t *testing.T) {
 	doc, err := os.ReadFile("../../docs/API.md")
 	if err != nil {
 		t.Fatalf("reading docs/API.md: %v", err)
 	}
-	s := newServer(engine.NewDefault(engine.Options{}))
+	s := docsServer(t)
 	if len(s.routes) == 0 {
 		t.Fatal("server registered no routes")
 	}
+	registered := map[string]bool{}
 	for _, route := range s.routes {
+		registered[route] = true
 		if !strings.Contains(string(doc), "`"+route+"`") {
 			t.Errorf("docs/API.md does not document route %s", route)
+		}
+	}
+
+	// The routes table: | METHOD | `path` | purpose |
+	rowRe := regexp.MustCompile(`(?m)^\|\s*(GET|POST|PUT|DELETE|PATCH)\s*\|\s*` + "`([^`]+)`")
+	rows := rowRe.FindAllStringSubmatch(string(doc), -1)
+	if len(rows) == 0 {
+		t.Fatal("docs/API.md has no routes table rows")
+	}
+	if len(rows) < len(s.routes) {
+		t.Errorf("routes table has %d rows but the server registers %d routes", len(rows), len(s.routes))
+	}
+	for _, row := range rows {
+		if path := row[2]; !registered[path] {
+			t.Errorf("docs/API.md documents %s %s, which the server does not register", row[1], path)
 		}
 	}
 }

@@ -1,25 +1,37 @@
 // Command gpufreqd is the long-running service entry point of the
 // frequency-scaling prediction framework: an HTTP server that trains the
-// speedup/energy models through the concurrent engine and serves
-// Pareto-optimal frequency predictions for OpenCL kernels as JSON.
+// speedup/energy models through the concurrent engine, persists them as
+// versioned snapshots in a model registry, and serves Pareto-optimal
+// frequency predictions for OpenCL kernels as JSON.
 //
 // Endpoints (documented in detail in docs/API.md):
 //
-//	GET  /healthz   liveness, device, model status, cache counters
-//	POST /train     (re)train the models; body: {"settings": 40}
-//	POST /predict   predict Pareto sets; body: {"kernels": [{"source": "...", "kernel": "..."}]}
-//	                or a single {"source": "...", "kernel": "..."}
-//	POST /select    resolve a policy to one chosen configuration; body adds
-//	                {"policy": {"name": "min-energy", ...}} to a /predict body
-//	GET  /policies  list the built-in policies and their parameters
+//	GET  /healthz                liveness, device, active model version, cache counters
+//	POST /train                  start a background (re)training run; returns 202 + version id
+//	POST /predict                predict Pareto sets; body: {"kernels": [{"source": "...", "kernel": "..."}]}
+//	                             or a single {"source": "...", "kernel": "..."}
+//	POST /select                 resolve a policy to one chosen configuration
+//	GET  /policies               list the built-in policies and their parameters
+//	GET  /models                 list model versions (snapshots + in-flight training runs)
+//	GET  /models/{id}            one version's manifest, training status, serving stats
+//	POST /models/{id}/activate   hot-swap serving to the given version
+//	POST /models/rollback        hot-swap serving back to the previously active version
 //
 // Usage:
 //
 //	gpufreqd [-addr :8080] [-device titanx|p100] [-workers 0] [-settings 40]
-//	         [-model models.json] [-train-on-start]
+//	         [-model-dir DIR] [-model models.json] [-train-on-start]
+//
+// With -model-dir, trained models are published as versioned on-disk
+// snapshots and the active version is loaded on boot, so a restarted
+// server serves predictions bit-identical to the pre-restart model without
+// retraining. Without it, the registry runs in memory: versioning,
+// activation and rollback all work, but nothing survives a restart.
+// Training runs in the background — /predict and /select keep serving the
+// old model and hot-swap to the new version when it is published.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests. A training run is cancelled when its client disconnects.
+// requests.
 package main
 
 import (
@@ -43,6 +55,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/nvml"
 	"repro/internal/policy"
+	"repro/internal/registry"
 )
 
 func main() {
@@ -50,7 +63,8 @@ func main() {
 	deviceName := flag.String("device", "titanx", "GPU profile to serve: titanx or p100")
 	workers := flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
 	settings := flag.Int("settings", 40, "sampled frequency settings per training kernel")
-	modelPath := flag.String("model", "", "load pre-trained models from this file instead of training")
+	modelDir := flag.String("model-dir", "", "model registry directory (versioned snapshots; empty = in-memory registry)")
+	modelPath := flag.String("model", "", "import pre-trained models from this flat file into the registry")
 	trainOnStart := flag.Bool("train-on-start", false, "train the models before accepting traffic")
 	flag.Parse()
 
@@ -58,28 +72,42 @@ func main() {
 	if err != nil {
 		log.Fatalf("gpufreqd: %v", err)
 	}
+	store, err := registry.Open(*modelDir)
+	if err != nil {
+		log.Fatalf("gpufreqd: %v", err)
+	}
 	srv := newServer(engine.New(measure.NewHarness(nvml.NewDevice(dev)), engine.Options{
 		Workers: *workers,
 		Core:    core.Options{SettingsPerKernel: *settings},
-	}))
+	}), store, *deviceName)
 
-	if *modelPath != "" {
+	switch {
+	case *modelPath != "":
 		models, err := core.LoadFile(*modelPath)
 		if err != nil {
 			log.Fatalf("gpufreqd: loading %s: %v", *modelPath, err)
 		}
-		srv.engine.SetModels(models)
-		log.Printf("loaded models from %s (speedup: %d SVs, energy: %d SVs)",
-			*modelPath, models.Speedup.NumSV(), models.Energy.NumSV())
-	} else if *trainOnStart {
+		version, err := srv.importModels(models)
+		if err != nil {
+			log.Fatalf("gpufreqd: importing %s: %v", *modelPath, err)
+		}
+		log.Printf("imported models from %s as %s (speedup: %d SVs, energy: %d SVs)",
+			*modelPath, version, models.Speedup.NumSV(), models.Energy.NumSV())
+	case srv.loadActive():
+		man := srv.activeManifest()
+		log.Printf("serving %s/%s (hash %.8s…, trained %s) loaded from %s — no retraining needed",
+			man.Device, man.Version, man.Hash, man.CreatedAt.Format(time.RFC3339), *modelDir)
+	case *trainOnStart:
 		log.Printf("training on the full synthetic suite (%d workers)...", srv.engine.Options().Workers)
-		start := time.Now()
-		models, err := srv.engine.TrainDefault(context.Background())
+		job, err := srv.startTraining(0)
 		if err != nil {
 			log.Fatalf("gpufreqd: training: %v", err)
 		}
-		log.Printf("trained in %v (speedup: %d SVs, energy: %d SVs)",
-			time.Since(start).Round(time.Millisecond), models.Speedup.NumSV(), models.Energy.NumSV())
+		srv.waitTraining(job)
+		if job.snapshot(srv).Status == statusFailed {
+			log.Fatalf("gpufreqd: training: %s", job.snapshot(srv).Error)
+		}
+		log.Printf("trained and published %s in %.0f ms", job.Version, job.snapshot(srv).DurationMS)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.mux}
@@ -110,26 +138,74 @@ func main() {
 // device resolves a GPU profile name.
 func device(name string) (*gpu.Device, error) { return gpu.ByName(name) }
 
-// server holds the HTTP layer's state: the engine and request bookkeeping.
-type server struct {
-	engine *engine.Engine
-	mux    *http.ServeMux
-	routes []string // registered patterns, for introspection and docs checks
-	start  time.Time
+// Training-job statuses reported by /train and /models.
+const (
+	statusTraining = "training"
+	statusReady    = "ready"
+	statusFailed   = "failed"
+)
 
-	trainMu sync.Mutex // serializes training runs
+// trainJob tracks one background training run from reservation to
+// publication. Fields past the immutable header are guarded by the owning
+// server's jobsMu.
+type trainJob struct {
+	Version   string    `json:"version"`
+	StartedAt time.Time `json:"started_at"`
 
-	govMu sync.Mutex
-	gov   *policy.Governor // bound to the predictor it was built over
+	Status     string  `json:"status"`
+	Error      string  `json:"error,omitempty"`
+	DurationMS float64 `json:"duration_ms,omitempty"`
 }
 
-func newServer(e *engine.Engine) *server {
-	s := &server{engine: e, mux: http.NewServeMux(), start: time.Now()}
+// snapshot returns a copy of the job under the server's lock.
+func (j *trainJob) snapshot(s *server) trainJob {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	return *j
+}
+
+// server holds the HTTP layer's state: the engine, the snapshot store, the
+// hot-swap serving holder, and training-run bookkeeping.
+type server struct {
+	engine  *engine.Engine
+	store   *registry.Store
+	serving *registry.Serving
+	device  string
+	mux     *http.ServeMux
+	routes  []string // registered patterns, for introspection and docs checks
+	start   time.Time
+
+	trainMu sync.Mutex // serializes training runs; held for a run's whole lifetime
+
+	// installMu serializes (store.Activate, serving.Install) pairs, so the
+	// on-disk ACTIVE pointer and the in-process serving version can never
+	// be swapped in opposite orders by a publishing trainer and a
+	// concurrent /models/{id}/activate.
+	installMu sync.Mutex
+
+	jobsMu sync.Mutex
+	jobs   map[string]*trainJob // version -> training run
+}
+
+func newServer(e *engine.Engine, store *registry.Store, device string) *server {
+	s := &server{
+		engine:  e,
+		store:   store,
+		serving: registry.NewServing(),
+		device:  device,
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		jobs:    map[string]*trainJob{},
+	}
 	s.handle("/healthz", s.handleHealthz)
 	s.handle("/train", s.handleTrain)
 	s.handle("/predict", s.handlePredict)
 	s.handle("/select", s.handleSelect)
 	s.handle("/policies", s.handlePolicies)
+	s.handle("/models", s.handleModels)
+	s.handle("/models/{id}", s.handleModelGet)
+	s.handle("/models/{id}/activate", s.handleModelActivate)
+	s.handle("/models/rollback", s.handleRollback)
 	return s
 }
 
@@ -140,20 +216,79 @@ func (s *server) handle(pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, h)
 }
 
-// governor returns a policy governor over the engine's current predictor,
-// rebuilding it (and thus dropping cached decisions) whenever retraining
-// has installed a new predictor.
-func (s *server) governor() (*policy.Governor, error) {
-	p, err := s.engine.Predictor()
+// install publishes a model set as the serving version, hot-swapping the
+// predictor/governor pair behind the serving holder's RWMutex so
+// concurrent /predict and /select requests never see a half-installed
+// version. The predictor is built directly from the models (not read back
+// from the engine), so the (version, models) pairing cannot be torn by a
+// concurrent install; the engine's models are updated too for its own
+// consumers (Trained, solver-stat reporting).
+func (s *server) install(version string, models *core.Models) error {
+	pred := engine.NewPredictor(models, s.engine.Harness().Device().Sim().Ladder, s.engine.Options())
+	s.engine.SetModels(models)
+	s.serving.Install(version, pred)
+	return nil
+}
+
+// activateAndInstall points the store's ACTIVE pointer at the version and
+// hot-swaps serving to it, as one serialized step.
+func (s *server) activateAndInstall(version string, models *core.Models) error {
+	s.installMu.Lock()
+	defer s.installMu.Unlock()
+	if err := s.store.Activate(s.device, version); err != nil {
+		return err
+	}
+	return s.install(version, models)
+}
+
+// loadActive loads and installs the device's active snapshot from the
+// store, if one exists. Used at boot so a restart against a populated
+// model directory serves without retraining.
+func (s *server) loadActive() bool {
+	models, man, err := s.store.Load(s.device, "")
 	if err != nil {
-		return nil, err
+		if !errors.Is(err, registry.ErrNoSnapshot) {
+			log.Printf("gpufreqd: loading active snapshot: %v", err)
+		}
+		return false
 	}
-	s.govMu.Lock()
-	defer s.govMu.Unlock()
-	if s.gov == nil || s.gov.Predictor() != p {
-		s.gov = policy.NewGovernor(p, 0)
+	if err := s.install(man.Version, models); err != nil {
+		log.Printf("gpufreqd: installing %s: %v", man.Version, err)
+		return false
 	}
-	return s.gov, nil
+	return true
+}
+
+// activeManifest returns the manifest of the serving version (zero value
+// if none is active or the store cannot produce it).
+func (s *server) activeManifest() registry.Manifest {
+	version := s.serving.Version()
+	if version == "" {
+		return registry.Manifest{}
+	}
+	man, err := s.store.GetManifest(s.device, version)
+	if err != nil {
+		return registry.Manifest{Version: version, Device: s.device}
+	}
+	return man
+}
+
+// importModels stores an externally supplied model set as a snapshot
+// (deduplicated by content hash) and activates it.
+func (s *server) importModels(models *core.Models) (string, error) {
+	hash, err := registry.HashModels(models)
+	if err != nil {
+		return "", err
+	}
+	version, ok := s.store.FindByHash(s.device, hash)
+	if !ok {
+		man, err := s.store.Save(s.device, "", models, registry.Training{})
+		if err != nil {
+			return "", err
+		}
+		version = man.Version
+	}
+	return version, s.activateAndInstall(version, models)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -172,6 +307,8 @@ type healthResponse struct {
 	Status        string             `json:"status"`
 	Device        string             `json:"device"`
 	Trained       bool               `json:"trained"`
+	ModelVersion  string             `json:"model_version,omitempty"`
+	Registry      string             `json:"registry"`
 	UptimeSeconds float64            `json:"uptime_seconds"`
 	Workers       int                `json:"workers"`
 	Cache         *engine.CacheStats `json:"cache,omitempty"`
@@ -185,12 +322,17 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := healthResponse{
 		Status:        "ok",
 		Device:        s.engine.Harness().Device().Sim().Name,
-		Trained:       s.engine.Trained(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Workers:       s.engine.Options().Workers,
+		Registry:      "memory",
 	}
-	if p, err := s.engine.Predictor(); err == nil {
-		st := p.Stats()
+	if s.store.Persistent() {
+		resp.Registry = s.store.Dir()
+	}
+	if version, pred, _, ok := s.serving.Current(); ok {
+		resp.Trained = true
+		resp.ModelVersion = version
+		st := pred.Stats()
 		resp.Cache = &st
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -202,24 +344,94 @@ type trainRequest struct {
 	Settings int `json:"settings"`
 }
 
-// modelStats reports one model's solver statistics from a training run.
-type modelStats struct {
-	SupportVectors int  `json:"support_vectors"`
-	Iters          int  `json:"iters"`
-	Converged      bool `json:"converged"`
+// trainAccepted is the 202 response to POST /train: the reserved version
+// id and where to poll for completion.
+type trainAccepted struct {
+	Version string `json:"version"`
+	Status  string `json:"status"`
+	Poll    string `json:"poll"`
 }
 
-type trainResponse struct {
-	Samples    int     `json:"samples"`
-	Kernels    int     `json:"kernels"`
-	DurationMS float64 `json:"duration_ms"`
-	// SpeedupSVs and EnergySVs are kept for backward compatibility; the
-	// per-model solver stats carry the same counts plus iterations and
-	// convergence.
-	SpeedupSVs   int        `json:"speedup_svs"`
-	EnergySVs    int        `json:"energy_svs"`
-	SpeedupModel modelStats `json:"speedup_model"`
-	EnergyModel  modelStats `json:"energy_model"`
+// startTraining reserves a version id, records the job, and launches the
+// run in the background. The caller owns nothing: the goroutine publishes
+// the snapshot, activates it, and hot-swaps serving when it succeeds.
+func (s *server) startTraining(settingsOverride int) (*trainJob, error) {
+	if !s.trainMu.TryLock() {
+		return nil, errors.New("a training run is already in progress")
+	}
+	version, err := s.store.Reserve(s.device)
+	if err != nil {
+		s.trainMu.Unlock()
+		return nil, fmt.Errorf("reserving a version: %v", err)
+	}
+	job := &trainJob{Version: version, Status: statusTraining, StartedAt: time.Now().UTC()}
+	s.jobsMu.Lock()
+	s.jobs[version] = job
+	s.jobsMu.Unlock()
+	go s.runTraining(job, settingsOverride)
+	return job, nil
+}
+
+// runTraining is the background half of /train. It trains with
+// context.Background(): the run belongs to the server, not to the HTTP
+// request that started it, so a disconnecting client no longer cancels it.
+func (s *server) runTraining(job *trainJob, settingsOverride int) {
+	defer s.trainMu.Unlock()
+
+	eng := s.engine
+	if settingsOverride > 0 {
+		opts := eng.Options()
+		opts.Core.SettingsPerKernel = settingsOverride
+		eng = engine.New(eng.Harness(), opts)
+	}
+
+	fail := func(err error) {
+		s.jobsMu.Lock()
+		job.Status = statusFailed
+		job.Error = err.Error()
+		s.jobsMu.Unlock()
+	}
+
+	kernels := engine.TrainingKernels()
+	start := time.Now()
+	samples, err := eng.BuildTrainingSet(context.Background(), kernels)
+	if err != nil {
+		fail(err)
+		return
+	}
+	models, err := eng.Fit(context.Background(), samples)
+	if err != nil {
+		fail(err)
+		return
+	}
+	durationMS := float64(time.Since(start).Microseconds()) / 1000
+
+	tr := registry.Training{
+		SettingsPerKernel: eng.Options().Core.WithDefaults().SettingsPerKernel,
+		Kernels:           len(kernels),
+		Samples:           len(samples),
+		DurationMS:        durationMS,
+	}
+	if _, err := s.store.Save(s.device, job.Version, models, tr); err != nil {
+		fail(fmt.Errorf("publishing snapshot: %w", err))
+		return
+	}
+	if err := s.activateAndInstall(job.Version, models); err != nil {
+		fail(fmt.Errorf("activating %s: %w", job.Version, err))
+		return
+	}
+	s.jobsMu.Lock()
+	job.Status = statusReady
+	job.DurationMS = durationMS
+	s.jobsMu.Unlock()
+}
+
+// waitTraining blocks until the job leaves the training state (used by
+// -train-on-start; HTTP clients poll /models/{id} instead).
+func (s *server) waitTraining(job *trainJob) {
+	for job.snapshot(s).Status == statusTraining {
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
@@ -234,59 +446,195 @@ func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if !s.trainMu.TryLock() {
-		writeError(w, http.StatusConflict, "a training run is already in progress")
-		return
-	}
-	defer s.trainMu.Unlock()
-
-	eng := s.engine
-	if req.Settings > 0 {
-		opts := eng.Options()
-		opts.Core.SettingsPerKernel = req.Settings
-		eng = engine.New(eng.Harness(), opts)
-	}
-
-	kernels := engine.TrainingKernels()
-	start := time.Now()
-	samples, err := eng.BuildTrainingSet(r.Context(), kernels)
+	job, err := s.startTraining(req.Settings)
 	if err != nil {
-		trainError(w, err)
+		writeError(w, http.StatusConflict, "%v", err)
 		return
 	}
-	models, err := eng.Fit(r.Context(), samples)
-	if err != nil {
-		trainError(w, err)
-		return
-	}
-	// Install on the server's engine regardless of per-run overrides.
-	s.engine.SetModels(models)
-	writeJSON(w, http.StatusOK, trainResponse{
-		Samples:    len(samples),
-		Kernels:    len(kernels),
-		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
-		SpeedupSVs: models.Speedup.NumSV(),
-		EnergySVs:  models.Energy.NumSV(),
-		SpeedupModel: modelStats{
-			SupportVectors: models.Speedup.NumSV(),
-			Iters:          models.Speedup.Iters,
-			Converged:      models.Speedup.Converged,
-		},
-		EnergyModel: modelStats{
-			SupportVectors: models.Energy.NumSV(),
-			Iters:          models.Energy.Iters,
-			Converged:      models.Energy.Converged,
-		},
+	writeJSON(w, http.StatusAccepted, trainAccepted{
+		Version: job.Version,
+		Status:  statusTraining,
+		Poll:    "/models/" + job.Version,
 	})
 }
 
-func trainError(w http.ResponseWriter, err error) {
-	if errors.Is(err, context.Canceled) {
-		// Client went away mid-run; 499 in nginx convention.
-		writeError(w, 499, "training cancelled: %v", err)
+// modelEntry is one version in /models responses: its training status, the
+// snapshot manifest once published, and per-version serving statistics
+// (live counters for the active version, frozen ones for retired versions).
+type modelEntry struct {
+	Version    string                 `json:"version"`
+	Status     string                 `json:"status"`
+	Active     bool                   `json:"active"`
+	Error      string                 `json:"error,omitempty"`
+	StartedAt  *time.Time             `json:"started_at,omitempty"`
+	DurationMS float64                `json:"duration_ms,omitempty"`
+	Manifest   *registry.Manifest     `json:"manifest,omitempty"`
+	Stats      *registry.VersionStats `json:"stats,omitempty"`
+}
+
+type modelsResponse struct {
+	Device   string       `json:"device"`
+	Active   string       `json:"active,omitempty"`
+	Previous string       `json:"previous,omitempty"`
+	Registry string       `json:"registry"`
+	Models   []modelEntry `json:"models"`
+}
+
+// modelEntries assembles the merged view of published snapshots and
+// in-flight/failed training runs, oldest snapshot first. For a version
+// whose training run is still in flight, the job's status wins over the
+// store's: a run publishes its snapshot before hot-swapping serving, and
+// it must not be reported ready until the swap happened.
+func (s *server) modelEntries() ([]modelEntry, error) {
+	// Jobs are snapshotted before the store listing: a run that publishes
+	// between the two reads then shows up as still "training" (harmless —
+	// pollers retry) rather than vanishing from both views.
+	s.jobsMu.Lock()
+	jobs := make(map[string]trainJob, len(s.jobs))
+	for v, job := range s.jobs {
+		jobs[v] = *job
+	}
+	s.jobsMu.Unlock()
+	entries, err := s.store.List(s.device)
+	if err != nil {
+		return nil, err
+	}
+
+	servingVersion := s.serving.Version()
+	seen := map[string]bool{}
+	out := make([]modelEntry, 0, len(entries))
+	for _, e := range entries {
+		seen[e.Version] = true
+		me := modelEntry{Version: e.Version, Status: statusReady, Active: e.Version == servingVersion}
+		if e.Err != "" {
+			me.Status = statusFailed
+			me.Error = e.Err
+		} else {
+			man := e.Manifest
+			me.Manifest = &man
+		}
+		if job, ok := jobs[e.Version]; ok && job.Status != statusReady {
+			me.Status = job.Status
+			me.Error = job.Error
+			t := job.StartedAt
+			me.StartedAt = &t
+		}
+		if vs, ok := s.serving.StatsFor(e.Version); ok {
+			me.Stats = &vs
+		}
+		out = append(out, me)
+	}
+	for _, job := range jobs {
+		if seen[job.Version] || job.Status == statusReady {
+			continue
+		}
+		t := job.StartedAt
+		out = append(out, modelEntry{
+			Version:   job.Version,
+			Status:    job.Status,
+			Error:     job.Error,
+			StartedAt: &t,
+		})
+	}
+	return out, nil
+}
+
+func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	writeError(w, http.StatusInternalServerError, "training failed: %v", err)
+	models, err := s.modelEntries()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "listing models: %v", err)
+		return
+	}
+	resp := modelsResponse{Device: s.device, Models: models, Registry: "memory"}
+	if s.store.Persistent() {
+		resp.Registry = s.store.Dir()
+	}
+	if st, ok := s.store.ActiveState(s.device); ok {
+		resp.Active = st.Version
+		resp.Previous = st.Previous
+	}
+	if v := s.serving.Version(); v != "" {
+		resp.Active = v
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleModelGet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	id := r.PathValue("id")
+	models, err := s.modelEntries()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "listing models: %v", err)
+		return
+	}
+	for _, me := range models {
+		if me.Version == id {
+			writeJSON(w, http.StatusOK, me)
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, "no model version %q for %s", id, s.device)
+}
+
+// activateResponse reports the outcome of an activation or rollback.
+type activateResponse struct {
+	Active   string `json:"active"`
+	Previous string `json:"previous,omitempty"`
+	Hash     string `json:"hash,omitempty"`
+}
+
+// activateVersion loads, verifies, activates and hot-swaps one stored
+// version — the shared body of /models/{id}/activate and /models/rollback.
+func (s *server) activateVersion(w http.ResponseWriter, id string) {
+	models, man, err := s.store.Load(s.device, id)
+	switch {
+	case errors.Is(err, registry.ErrNoSnapshot):
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	case errors.Is(err, registry.ErrCorrupt):
+		writeError(w, http.StatusConflict, "refusing to activate: %v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "loading %s: %v", id, err)
+		return
+	}
+	if err := s.activateAndInstall(id, models); err != nil {
+		writeError(w, http.StatusInternalServerError, "activating %s: %v", id, err)
+		return
+	}
+	resp := activateResponse{Active: id, Hash: man.Hash}
+	if prev, ok := s.store.Previous(s.device); ok {
+		resp.Previous = prev
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleModelActivate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	s.activateVersion(w, r.PathValue("id"))
+}
+
+func (s *server) handleRollback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	target, ok := s.store.Previous(s.device)
+	if !ok {
+		writeError(w, http.StatusConflict, "no previous version to roll back to")
+		return
+	}
+	s.activateVersion(w, target)
 }
 
 type predictKernel struct {
@@ -310,8 +658,9 @@ type predictResult struct {
 }
 
 type predictResponse struct {
-	Results []predictResult   `json:"results"`
-	Cache   engine.CacheStats `json:"cache"`
+	ModelVersion string            `json:"model_version"`
+	Results      []predictResult   `json:"results"`
+	Cache        engine.CacheStats `json:"cache"`
 }
 
 func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -332,9 +681,10 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no kernels in request")
 		return
 	}
-	p, err := s.engine.Predictor()
-	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	version, p, _, ok := s.serving.Current()
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable,
+			"no active model version (POST /train, or activate a stored version)")
 		return
 	}
 
@@ -361,7 +711,7 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			results[i].Pareto = sets[j]
 		}
 	}
-	writeJSON(w, http.StatusOK, predictResponse{Results: results, Cache: p.Stats()})
+	writeJSON(w, http.StatusOK, predictResponse{ModelVersion: version, Results: results, Cache: p.Stats()})
 }
 
 type selectRequest struct {
@@ -382,8 +732,9 @@ type selectResult struct {
 
 type selectResponse struct {
 	// Policy is the resolved spec (defaults applied) every decision used.
-	Policy  policy.Spec    `json:"policy"`
-	Results []selectResult `json:"results"`
+	Policy       policy.Spec    `json:"policy"`
+	ModelVersion string         `json:"model_version"`
+	Results      []selectResult `json:"results"`
 	// Cache reports the governor's per-policy decision cache, not the
 	// engine's SVR cache (that one is on /healthz and /predict).
 	Cache policy.Stats `json:"cache"`
@@ -412,9 +763,10 @@ func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no kernels in request")
 		return
 	}
-	gov, err := s.governor()
-	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	version, _, gov, ok := s.serving.Current()
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable,
+			"no active model version (POST /train, or activate a stored version)")
 		return
 	}
 
@@ -428,7 +780,9 @@ func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		}
 		results[i].Decision = &d
 	}
-	writeJSON(w, http.StatusOK, selectResponse{Policy: spec, Results: results, Cache: gov.Stats()})
+	writeJSON(w, http.StatusOK, selectResponse{
+		Policy: spec, ModelVersion: version, Results: results, Cache: gov.Stats(),
+	})
 }
 
 type policiesResponse struct {

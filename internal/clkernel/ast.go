@@ -15,6 +15,7 @@ const (
 	Constant
 )
 
+// String renders the OpenCL address-space qualifier spelling.
 func (a AddrSpace) String() string {
 	switch a {
 	case Global:
@@ -53,6 +54,7 @@ func (t Type) Lanes() int {
 	return t.Width
 }
 
+// String renders the type the way OpenCL source spells it.
 func (t Type) String() string {
 	s := t.Base
 	if t.Width > 1 {

@@ -34,6 +34,7 @@ var opClassNames = [NumOpClasses]string{
 	"gl_access", "loc_access", "other",
 }
 
+// String returns the instruction class's feature name.
 func (c OpClass) String() string {
 	if c < 0 || c >= NumOpClasses {
 		return fmt.Sprintf("OpClass(%d)", int(c))

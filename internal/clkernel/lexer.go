@@ -11,6 +11,7 @@ type SyntaxError struct {
 	Msg       string
 }
 
+// Error renders the position-annotated message.
 func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("clkernel: %d:%d: %s", e.Line, e.Col, e.Msg)
 }

@@ -38,6 +38,7 @@ type Token struct {
 	Col  int
 }
 
+// String renders the token for parser error messages.
 func (t Token) String() string {
 	switch t.Kind {
 	case TokEOF:

@@ -45,6 +45,8 @@ func boxStats(errs []float64) BoxStats {
 type ErrorReport struct {
 	// Objective is "speedup" or "energy".
 	Objective string
+	// Model records which model version produced the table.
+	Model Provenance
 	// Mems holds the memory clocks in figure order (H, h, l, L).
 	Mems []freq.MHz
 	// RMSE maps memory clock to the root-mean-square error in percentage
@@ -124,7 +126,13 @@ func (s *Suite) fig67() (speedup, energy ErrorReport, err error) {
 	if err != nil {
 		return ErrorReport{}, ErrorReport{}, err
 	}
-	return buildReport("speedup", se), buildReport("energy", ee), nil
+	prov, err := s.Provenance()
+	if err != nil {
+		return ErrorReport{}, ErrorReport{}, err
+	}
+	sp, en := buildReport("speedup", se), buildReport("energy", ee)
+	sp.Model, en.Model = prov, prov
+	return sp, en, nil
 }
 
 // Fig6 reproduces Fig. 6: speedup prediction error by memory frequency.
@@ -144,6 +152,7 @@ func (s *Suite) Fig7() (ErrorReport, error) {
 // one block per memory frequency with its RMSE and per-benchmark box stats.
 func RenderErrorReport(w io.Writer, figure string, rep ErrorReport) {
 	fmt.Fprintf(w, "%s: prediction error of %s\n", figure, rep.Objective)
+	fmt.Fprintf(w, "  model: %s\n", rep.Model)
 	for _, m := range rep.Mems {
 		fmt.Fprintf(w, "  Memory Frequency: %d MHz (%s)   RMSE = %.2f%%\n",
 			m, freq.MemLabel(m), rep.RMSE[m])

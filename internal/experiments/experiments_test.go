@@ -26,6 +26,42 @@ func suite(t *testing.T) *Suite {
 	return fastSuite
 }
 
+// TestProvenanceRecorded: every model-dependent table names the model
+// version (and content hash) that produced it.
+func TestProvenanceRecorded(t *testing.T) {
+	s := suite(t)
+	prov, err := s.Provenance()
+	if err != nil {
+		t.Fatalf("Provenance: %v", err)
+	}
+	if prov.Version != "in-memory" || prov.Device == "" || prov.Hash == "" {
+		t.Fatalf("incomplete provenance: %+v", prov)
+	}
+	sp, err := s.Fig6()
+	if err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
+	if sp.Model != prov {
+		t.Fatalf("Fig6 provenance %+v != suite provenance %+v", sp.Model, prov)
+	}
+	var buf bytes.Buffer
+	RenderErrorReport(&buf, "Figure 6", sp)
+	if !strings.Contains(buf.String(), "model: "+prov.String()) {
+		t.Error("RenderErrorReport does not print the model provenance")
+	}
+
+	// A registry-labelled suite reports its version instead of in-memory.
+	s2 := NewSuiteWithEngine(s.Engine()) // reuses the trained engine
+	s2.SetModelVersion("v0007")
+	prov2, err := s2.Provenance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov2.Version != "v0007" || prov2.Hash != prov.Hash {
+		t.Fatalf("labelled provenance: %+v", prov2)
+	}
+}
+
 func TestFig1Shapes(t *testing.T) {
 	s := suite(t)
 	data, err := s.Fig1()
@@ -212,9 +248,13 @@ func TestFig8AndTable2(t *testing.T) {
 		}
 	}
 
-	rows := Table2From(data)
+	rep := Table2From(data)
+	rows := rep.Rows
 	if len(rows) != 12 {
 		t.Fatalf("Table2 has %d rows, want 12", len(rows))
+	}
+	if rep.Model != data[0].Model || rep.Model.Device == "" || rep.Model.Hash == "" {
+		t.Fatalf("Table2 provenance not recorded: %+v", rep.Model)
 	}
 	for i := 1; i < len(rows); i++ {
 		if rows[i].D < rows[i-1].D {
@@ -236,7 +276,7 @@ func TestFig8AndTable2(t *testing.T) {
 		t.Errorf("only %d/12 benchmarks with D <= 0.08; Pareto prediction too weak", good)
 	}
 	var buf bytes.Buffer
-	RenderTable2(&buf, rows)
+	RenderTable2(&buf, rep)
 	if !strings.Contains(buf.String(), "D(P*,P')") {
 		t.Error("RenderTable2 missing header")
 	}

@@ -19,6 +19,8 @@ import (
 // paper's red crosses, which "are not necessarily dominant each other").
 type Fig8Data struct {
 	Benchmark string
+	// Model records which model version produced the prediction.
+	Model Provenance
 	// Measured is the full measured sweep (all actual configurations).
 	Measured []measure.Relative
 	// RealFront is the measured Pareto-optimal set P*.
@@ -37,12 +39,17 @@ func (s *Suite) Fig8() ([]Fig8Data, error) {
 	if err != nil {
 		return nil, err
 	}
+	prov, err := s.Provenance()
+	if err != nil {
+		return nil, err
+	}
 	var out []Fig8Data
 	for _, b := range bench.All() {
 		d, err := s.fig8One(pred, b)
 		if err != nil {
 			return nil, err
 		}
+		d.Model = prov
 		out = append(out, d)
 	}
 	return out, nil
@@ -106,6 +113,9 @@ func (s *Suite) fig8One(pred *engine.Predictor, b *bench.Benchmark) (Fig8Data, e
 // RenderFig8 prints, per benchmark, the real front and the predicted set.
 func RenderFig8(w io.Writer, data []Fig8Data) {
 	fmt.Fprintln(w, "Figure 8: accuracy of the predicted Pareto front")
+	if len(data) > 0 {
+		fmt.Fprintf(w, "  model: %s\n", data[0].Model)
+	}
 	for _, d := range data {
 		fmt.Fprintf(w, "  %s: real front %d points, predicted set %d points\n",
 			d.Benchmark, len(d.RealFront), len(d.Predicted))
@@ -139,19 +149,30 @@ type Table2Row struct {
 	MinEnergyDS, MinEnergyDE   float64
 }
 
+// Table2Report is the whole of Table 2: its rows plus the provenance of
+// the model version that produced them.
+type Table2Report struct {
+	// Model records which model version produced the table.
+	Model Provenance
+	Rows  []Table2Row
+}
+
 // Table2 reproduces Table 2 from the Fig. 8 data, sorted by ascending
 // coverage difference as in the paper.
-func (s *Suite) Table2() ([]Table2Row, error) {
+func (s *Suite) Table2() (Table2Report, error) {
 	data, err := s.Fig8()
 	if err != nil {
-		return nil, err
+		return Table2Report{}, err
 	}
 	return Table2From(data), nil
 }
 
-// Table2From derives the Table 2 rows from precomputed Fig. 8 data.
-func Table2From(data []Fig8Data) []Table2Row {
-	var rows []Table2Row
+// Table2From derives the Table 2 report from precomputed Fig. 8 data.
+func Table2From(data []Fig8Data) Table2Report {
+	rep := Table2Report{}
+	if len(data) > 0 {
+		rep.Model = data[0].Model
+	}
 	for _, d := range data {
 		row := Table2Row{
 			Benchmark: d.Benchmark,
@@ -163,18 +184,19 @@ func Table2From(data []Fig8Data) []Table2Row {
 			row.MaxSpeedupDS, row.MaxSpeedupDE = ed.MaxSpeedupDS, ed.MaxSpeedupDE
 			row.MinEnergyDS, row.MinEnergyDE = ed.MinEnergyDS, ed.MinEnergyDE
 		}
-		rows = append(rows, row)
+		rep.Rows = append(rep.Rows, row)
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].D < rows[j].D })
-	return rows
+	sort.Slice(rep.Rows, func(i, j int) bool { return rep.Rows[i].D < rep.Rows[j].D })
+	return rep
 }
 
 // RenderTable2 prints Table 2 in the paper's layout.
-func RenderTable2(w io.Writer, rows []Table2Row) {
+func RenderTable2(w io.Writer, rep Table2Report) {
 	fmt.Fprintln(w, "Table 2: evaluation of predicted Pareto fronts")
+	fmt.Fprintf(w, "  model: %s\n", rep.Model)
 	fmt.Fprintf(w, "  %-15s %9s %5s %5s %18s %18s\n",
 		"benchmark", "D(P*,P')", "|P'|", "|P*|", "max-speedup dist", "min-energy dist")
-	for _, r := range rows {
+	for _, r := range rep.Rows {
 		fmt.Fprintf(w, "  %-15s %9.4f %5d %5d   (%5.3f, %5.3f)   (%5.3f, %5.3f)\n",
 			r.Benchmark, r.D, r.NPred, r.NReal,
 			r.MaxSpeedupDS, r.MaxSpeedupDE, r.MinEnergyDS, r.MinEnergyDE)

@@ -41,7 +41,9 @@ type PolicyEvalRow struct {
 // test benchmarks and every built-in policy.
 type PolicyEvalTable struct {
 	Device string
-	Rows   []PolicyEvalRow
+	// Model records which model version produced the governor's decisions.
+	Model Provenance
+	Rows  []PolicyEvalRow
 }
 
 // policyEvalSpecs are the specs the evaluation sweeps: every built-in at
@@ -87,7 +89,11 @@ func PolicyEvalForDevice(dev *gpu.Device, opts engine.Options) (PolicyEvalTable,
 	sampled := dev.Ladder.TrainingSample(40)
 	specs := policyEvalSpecs()
 
-	tbl := PolicyEvalTable{Device: dev.Name}
+	prov, err := ProvenanceFor(dev.Name, eng.Models(), "")
+	if err != nil {
+		return PolicyEvalTable{}, err
+	}
+	tbl := PolicyEvalTable{Device: dev.Name, Model: prov}
 	for _, b := range bench.All() {
 		st := b.Features()
 		base, err := h.Baseline(b.Profile())
@@ -199,6 +205,7 @@ func RenderPolicyEval(w io.Writer, tables []PolicyEvalTable) {
 	fmt.Fprintln(w, "Policy evaluation: governor decisions vs measured oracle")
 	for _, tbl := range tables {
 		fmt.Fprintf(w, "  %s\n", tbl.Device)
+		fmt.Fprintf(w, "  model: %s\n", tbl.Model)
 		fmt.Fprintf(w, "  %-11s %-15s %-11s %7s %7s   %-11s %7s %7s\n",
 			"policy", "benchmark", "chosen", "spd", "energy", "oracle", "spd", "energy")
 		for _, r := range tbl.Rows {

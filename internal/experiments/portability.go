@@ -22,6 +22,8 @@ import (
 // mem-L heuristic applies.
 type PortabilityResult struct {
 	Device string
+	// Model records which model version produced the evaluation.
+	Model Provenance
 	// NumConfigs is the device's tunable configuration count.
 	NumConfigs int
 	// SpeedupRMSE and EnergyRMSE are percentage-point RMS errors over the
@@ -72,8 +74,13 @@ func PortabilityP100(opts core.Options) (PortabilityResult, error) {
 		}
 		paretoSizes += len(pred.ParetoSet(st))
 	}
+	prov, err := ProvenanceFor(h.Device().Name(), eng.Models(), "")
+	if err != nil {
+		return PortabilityResult{}, err
+	}
 	return PortabilityResult{
 		Device:         h.Device().Name(),
+		Model:          prov,
 		NumConfigs:     ladder.NumConfigs(),
 		SpeedupRMSE:    math.Sqrt(sSum / float64(n)),
 		EnergyRMSE:     math.Sqrt(eSum / float64(n)),
@@ -85,6 +92,7 @@ func PortabilityP100(opts core.Options) (PortabilityResult, error) {
 func RenderPortability(w io.Writer, r PortabilityResult) {
 	fmt.Fprintln(w, "Portability: full pipeline retrained on a second device")
 	fmt.Fprintf(w, "  device:            %s\n", r.Device)
+	fmt.Fprintf(w, "  model:             %s\n", r.Model)
 	fmt.Fprintf(w, "  configurations:    %d (single memory clock)\n", r.NumConfigs)
 	fmt.Fprintf(w, "  speedup RMSE:      %.2f%%\n", r.SpeedupRMSE)
 	fmt.Fprintf(w, "  energy RMSE:       %.2f%%\n", r.EnergyRMSE)

@@ -19,13 +19,52 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/measure"
+	"repro/internal/registry"
 )
+
+// Provenance identifies the trained model set an experiment's tables were
+// produced from, so regenerated paper artifacts are attributable to a
+// registry snapshot. Version is the registry version id, or "in-memory"
+// for models trained ad hoc for the run.
+type Provenance struct {
+	// Version is the model version id ("in-memory" when untracked).
+	Version string `json:"version"`
+	// Device names the GPU profile the models were trained for.
+	Device string `json:"device"`
+	// Hash is the model set's content hash (registry.HashModels).
+	Hash string `json:"hash"`
+}
+
+// String renders the provenance the way reports print it.
+func (p Provenance) String() string {
+	if p.Hash == "" {
+		return fmt.Sprintf("%s/%s", p.Device, p.Version)
+	}
+	return fmt.Sprintf("%s/%s (hash %.8s…)", p.Device, p.Version, p.Hash)
+}
+
+// ProvenanceFor builds the provenance of a model set. An empty version is
+// recorded as "in-memory".
+func ProvenanceFor(device string, m *core.Models, version string) (Provenance, error) {
+	hash, err := registry.HashModels(m)
+	if err != nil {
+		return Provenance{}, err
+	}
+	if version == "" {
+		version = "in-memory"
+	}
+	return Provenance{Version: version, Device: device, Hash: hash}, nil
+}
 
 // Suite owns the concurrent engine (device, harness, lazily trained models,
 // cached predictor) that the experiments share. All training and prediction
 // flows through internal/engine, the same path the commands use.
 type Suite struct {
 	eng *engine.Engine
+
+	// modelVersion labels the models' registry version in report
+	// provenance; empty means trained in-memory for this run.
+	modelVersion string
 
 	trainOnce sync.Once
 	trainErr  error
@@ -86,6 +125,22 @@ func (s *Suite) Predictor() (*engine.Predictor, error) {
 		return nil, err
 	}
 	return s.eng.Predictor()
+}
+
+// SetModelVersion labels the suite's models with their registry version
+// id, recorded in every table's provenance. Call it when the engine was
+// loaded from a registry snapshot rather than trained in-process.
+func (s *Suite) SetModelVersion(version string) { s.modelVersion = version }
+
+// Provenance returns the provenance of the suite's models (training them
+// first if needed): the version label, the device profile, and the model
+// content hash that every generated table records.
+func (s *Suite) Provenance() (Provenance, error) {
+	models, err := s.Models()
+	if err != nil {
+		return Provenance{}, err
+	}
+	return ProvenanceFor(s.Harness().Device().Name(), models, s.modelVersion)
 }
 
 // Sweep measures (once) the full configuration sweep of a test benchmark.

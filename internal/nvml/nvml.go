@@ -26,6 +26,7 @@ type ErrNotSupported struct {
 	Cfg freq.Config
 }
 
+// Error names the rejected clock combination.
 func (e *ErrNotSupported) Error() string {
 	return fmt.Sprintf("nvml: clock combination %v not supported", e.Cfg)
 }

@@ -30,6 +30,7 @@ func (Linear) Eval(a, b []float64) float64 {
 	return s
 }
 
+// String names the kernel in logs and reports.
 func (Linear) String() string { return "linear" }
 
 // RBF is the Gaussian kernel K(a,b) = exp(-γ‖a−b‖²), used by the paper for
@@ -48,6 +49,7 @@ func (k RBF) Eval(a, b []float64) float64 {
 	return math.Exp(-k.Gamma * d)
 }
 
+// String names the kernel and its bandwidth in logs and reports.
 func (k RBF) String() string { return fmt.Sprintf("rbf(gamma=%g)", k.Gamma) }
 
 // Poly is the polynomial kernel K(a,b) = (γ a·b + c)^d.
@@ -66,6 +68,7 @@ func (k Poly) Eval(a, b []float64) float64 {
 	return math.Pow(k.Gamma*s+k.Coef0, float64(k.Degree))
 }
 
+// String names the kernel and its parameters in logs and reports.
 func (k Poly) String() string {
 	return fmt.Sprintf("poly(gamma=%g, coef0=%g, degree=%d)", k.Gamma, k.Coef0, k.Degree)
 }
