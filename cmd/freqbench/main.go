@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	freqbench [-exp fig1|fig4|fig5|fig6|fig7|fig8|table2|policy|p100|all] [-settings 40] [-workers 0]
+//	freqbench [-exp fig1|fig4|fig5|fig6|fig7|fig8|table2|policy|p100|adapt|all] [-settings 40] [-workers 0]
 //	          [-model-dir DIR]
 //
 // fig6/fig7/fig8/table2 train the models on the full 106-micro-benchmark
@@ -12,7 +12,10 @@
 // records the model version (and content hash) it was produced from.
 // policy and p100 always train per-device engines (they evaluate both GPU
 // profiles, including devices a Titan X snapshot cannot serve), so their
-// tables carry "in-memory" provenance regardless of -model-dir.
+// tables carry "in-memory" provenance regardless of -model-dir. adapt runs
+// the drift-recovery experiment (internal/adapt end to end: a synthetic
+// workload shift, drift detection, guarded auto-retrain, recovered error);
+// it owns its training and in-memory registry, so -model-dir is ignored.
 package main
 
 import (
@@ -27,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1, fig4, fig5, fig6, fig7, fig8, table2, policy, p100, all")
+	exp := flag.String("exp", "all", "experiment: fig1, fig4, fig5, fig6, fig7, fig8, table2, policy, p100, adapt, all")
 	settings := flag.Int("settings", 40, "sampled frequency settings per training kernel")
 	workers := flag.Int("workers", 0, "training/prediction worker pool size (0 = NumCPU)")
 	modelDir := flag.String("model-dir", "", "model registry directory (use the active titanx snapshot instead of training)")
@@ -111,8 +114,17 @@ func run(s *experiments.Suite, exp string) error {
 			return err
 		}
 		experiments.RenderPortability(w, r)
+	case "adapt":
+		// A fresh suite on the same engine options (workers included): the
+		// drift-recovery run hot-swaps models and must not disturb the
+		// engine other experiments in the same invocation share.
+		rep, err := experiments.NewSuiteWithEngine(engine.NewDefault(s.Engine().Options())).AdaptRecovery()
+		if err != nil {
+			return err
+		}
+		experiments.RenderAdaptReport(w, rep)
 	case "all":
-		for _, e := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "table2", "policy"} {
+		for _, e := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "table2", "policy", "adapt"} {
 			if err := run(s, e); err != nil {
 				return err
 			}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeDaemon serves canned gpufreqd adaptation endpoints for CLI tests.
+func fakeDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/observe", func(w http.ResponseWriter, r *http.Request) {
+		var req map[string]any
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req["source"] == "" || req["speedup"] == nil {
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(map[string]string{"error": "bad observation"})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"model_version": "v0002",
+			"results": []map[string]any{{
+				"ingest": map[string]any{
+					"stored": true,
+					"drift":  map[string]any{"drift": false, "reason": "within threshold"},
+				},
+			}},
+			"store": map[string]int{"count": 1, "capacity": 1024, "total": 1},
+		})
+	})
+	mux.HandleFunc("/adapt/status", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"auto":          true,
+			"model_version": "v0002",
+			"store":         map[string]int{"count": 1, "capacity": 1024},
+			"drift":         map[string]any{"drift": false, "reason": "within threshold"},
+			"retrain":       map[string]any{"retrains": 1, "activated": 1, "last_outcome": "activated", "last_version": "v0002"},
+		})
+	})
+	mux.HandleFunc("/adapt/retrain", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{"status": "retraining", "poll": "/adapt/status"})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{"error": "no such endpoint"})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func kernelFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "k.cl")
+	src := `__kernel void k(__global float* o, float x) { o[0] = x * x; }`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdObserve(t *testing.T) {
+	ts := fakeDaemon(t)
+	err := cmdObserve([]string{
+		"-addr", ts.URL, "-mem", "3505", "-core", "1000",
+		"-speedup", "0.97", "-energy", "0.93", kernelFile(t),
+	})
+	if err != nil {
+		t.Fatalf("cmdObserve: %v", err)
+	}
+	if err := cmdObserve([]string{"-addr", ts.URL}); err == nil {
+		t.Error("cmdObserve without a kernel file should fail")
+	}
+}
+
+func TestCmdAdapt(t *testing.T) {
+	ts := fakeDaemon(t)
+	if err := cmdAdapt([]string{"-addr", ts.URL}); err != nil {
+		t.Fatalf("cmdAdapt status: %v", err)
+	}
+	if err := cmdAdapt([]string{"-addr", ts.URL, "-retrain"}); err != nil {
+		t.Fatalf("cmdAdapt -retrain: %v", err)
+	}
+}
+
+func TestCmdAdaptSurfacesDaemonError(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/adapt/retrain", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusConflict)
+		json.NewEncoder(w).Encode(map[string]string{"error": "a retrain is already in progress"})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	err := cmdAdapt([]string{"-addr", ts.URL, "-retrain"})
+	if err == nil || !strings.Contains(err.Error(), "already in progress") {
+		t.Fatalf("err = %v, want the daemon's structured error surfaced", err)
+	}
+}

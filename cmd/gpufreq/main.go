@@ -19,6 +19,15 @@
 //	               [-kernel name] <kernel.cl>
 //	gpufreq select -list
 //	gpufreq characterize <benchmark>
+//	gpufreq observe [-addr http://localhost:8080] -mem 3505 -core 1000
+//	                -speedup 0.97 -energy 0.93 [-kernel name] <kernel.cl>
+//	gpufreq adapt [-addr http://localhost:8080] [-retrain]
+//
+// observe and adapt talk to a running gpufreqd: observe reports a measured
+// (kernel, configuration, speedup/energy) sample into the daemon's
+// adaptation loop, and adapt prints the loop's status (drift verdict,
+// observation store, retrain history) or, with -retrain, forces a
+// holdout-guarded retrain.
 //
 // Training, prediction and policy selection run through the concurrent
 // engine (internal/engine) and the policy governor (internal/policy);
@@ -30,18 +39,24 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/features"
+	"repro/internal/freq"
 	"repro/internal/gpu"
 	"repro/internal/measure"
 	"repro/internal/nvml"
@@ -74,6 +89,10 @@ func main() {
 		err = cmdSelect(os.Args[2:])
 	case "characterize":
 		err = cmdCharacterize(os.Args[2:])
+	case "observe":
+		err = cmdObserve(os.Args[2:])
+	case "adapt":
+		err = cmdAdapt(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -100,6 +119,8 @@ Commands:
   predict       predict the Pareto-optimal frequency settings of a kernel
   select        resolve a named policy to one chosen frequency configuration
   characterize  measure a built-in test benchmark across all configurations
+  observe       report a measured sample to a running gpufreqd's adaptation loop
+  adapt         show (or trigger) a running gpufreqd's adaptation loop
 
 Flags come before the positional argument, e.g.:
   gpufreq predict -model models.json kernel.cl
@@ -169,16 +190,23 @@ func interruptContext() (context.Context, context.CancelFunc) {
 	return signal.NotifyContext(context.Background(), os.Interrupt)
 }
 
-func trainEngine(ctx context.Context, eng *engine.Engine) (*core.Models, error) {
+// trainEngine builds the full synthetic training set, fits both models,
+// and installs them on the engine, returning the samples alongside the
+// models so callers can record training residuals.
+func trainEngine(ctx context.Context, eng *engine.Engine) (*core.Models, []core.Sample, error) {
 	kernels := engine.TrainingKernels()
-	models, err := eng.Train(ctx, kernels)
+	samples, err := eng.BuildTrainingSet(ctx, kernels)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	settings := core.TrainingSettings(eng.Harness(), eng.Options().Core)
+	models, err := eng.Fit(ctx, samples)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng.SetModels(models)
 	fmt.Fprintf(os.Stderr, "trained on %d samples (%d micro-benchmarks, %d workers)\n",
-		len(kernels)*len(settings), len(kernels), eng.Options().Workers)
-	return models, nil
+		len(samples), len(kernels), eng.Options().Workers)
+	return models, samples, nil
 }
 
 func cmdTrain(args []string) error {
@@ -191,7 +219,7 @@ func cmdTrain(args []string) error {
 	}
 	ctx, stop := interruptContext()
 	defer stop()
-	models, err := trainEngine(ctx, newEngine(*settings, *workers))
+	models, _, err := trainEngine(ctx, newEngine(*settings, *workers))
 	if err != nil {
 		return err
 	}
@@ -231,18 +259,20 @@ func cmdSave(args []string) error {
 	ctx, stop := interruptContext()
 	defer stop()
 	start := time.Now()
-	models, err := trainEngine(ctx, eng)
+	models, samples, err := trainEngine(ctx, eng)
 	if err != nil {
 		return err
 	}
-	kernels := engine.TrainingKernels()
-	perKernel := len(core.TrainingSettings(eng.Harness(), eng.Options().Core))
-	man, err := store.Save(*dev, "", models, registry.Training{
+	tr := registry.Training{
 		SettingsPerKernel: *settings,
-		Kernels:           len(kernels),
-		Samples:           len(kernels) * perKernel,
+		Kernels:           len(engine.TrainingKernels()),
+		Samples:           len(samples),
 		DurationMS:        float64(time.Since(start).Microseconds()) / 1000,
-	})
+	}
+	// Recorded residuals are the baseline gpufreqd's drift detector
+	// compares live observations against.
+	tr.SpeedupRMSE, tr.EnergyRMSE = core.ResidualRMSE(models, samples)
+	man, err := store.Save(*dev, "", models, tr)
 	if err != nil {
 		return err
 	}
@@ -365,7 +395,7 @@ func resolveModels(eng *engine.Engine, modelDir, deviceName, version, modelPath 
 	default:
 		ctx, stop := interruptContext()
 		defer stop()
-		_, err := trainEngine(ctx, eng)
+		_, _, err := trainEngine(ctx, eng)
 		return err
 	}
 }
@@ -497,6 +527,166 @@ func cmdSelect(args []string) error {
 // flagFor maps a policy spec JSON parameter to its CLI flag spelling.
 func flagFor(param string) string {
 	return strings.ReplaceAll(param, "_", "-")
+}
+
+// postJSON posts a JSON document to a gpufreqd endpoint and decodes the
+// response, surfacing the daemon's structured {"error": ...} on failure.
+func postJSON(base, path string, body, out any) error {
+	doc, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(strings.TrimRight(base, "/")+path, "application/json", bytes.NewReader(doc))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeDaemon(resp, out)
+}
+
+// getJSON fetches a gpufreqd endpoint and decodes the response.
+func getJSON(base, path string, out any) error {
+	resp, err := http.Get(strings.TrimRight(base, "/") + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeDaemon(resp, out)
+}
+
+// decodeDaemon decodes a daemon response, turning non-2xx statuses into
+// errors carrying the daemon's structured error text.
+func decodeDaemon(resp *http.Response, out any) error {
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("daemon: %s (%s)", e.Error, resp.Status)
+		}
+		return fmt.Errorf("daemon: %s", resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// cmdObserve reports one measured sample to a running gpufreqd's
+// adaptation loop (POST /observe) and prints the ingest verdict.
+func cmdObserve(args []string) error {
+	fs := flag.NewFlagSet("observe", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "gpufreqd base URL")
+	kernel := fs.String("kernel", "", "kernel name (default: first kernel)")
+	mem := fs.Int("mem", 0, "memory clock the kernel ran at (MHz)")
+	coreClk := fs.Int("core", 0, "core clock the kernel ran at (MHz)")
+	speedup := fs.Float64("speedup", 0, "measured speedup relative to default clocks")
+	energy := fs.Float64("energy", 0, "measured normalized energy relative to default clocks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: gpufreq observe [-addr URL] -mem MHZ -core MHZ -speedup S -energy E <kernel.cl>")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var resp struct {
+		ModelVersion string `json:"model_version"`
+		Results      []struct {
+			Ingest *adapt.IngestResult `json:"ingest"`
+			Error  string              `json:"error"`
+		} `json:"results"`
+		Store adapt.StoreStats `json:"store"`
+	}
+	err = postJSON(*addr, "/observe", map[string]any{
+		"source":      string(src),
+		"kernel":      *kernel,
+		"config":      freq.Config{Mem: freq.MHz(*mem), Core: freq.MHz(*coreClk)},
+		"speedup":     *speedup,
+		"norm_energy": *energy,
+	}, &resp)
+	if err != nil {
+		return err
+	}
+	if len(resp.Results) != 1 {
+		return fmt.Errorf("daemon returned %d results, want 1", len(resp.Results))
+	}
+	if resp.Results[0].Error != "" {
+		return fmt.Errorf("observation rejected: %s", resp.Results[0].Error)
+	}
+	in := resp.Results[0].Ingest
+	fmt.Printf("observed against %s (store: %d/%d observations)\n",
+		resp.ModelVersion, resp.Store.Count, resp.Store.Capacity)
+	fmt.Printf("drift:   %v (%s)\n", in.Drift.Drift, in.Drift.Reason)
+	if in.RetrainStarted {
+		fmt.Printf("retrain: started (%s)\n", in.Reason)
+	}
+	return nil
+}
+
+// cmdAdapt prints a running gpufreqd's adaptation-loop status, or with
+// -retrain forces a holdout-guarded retrain.
+func cmdAdapt(args []string) error {
+	fs := flag.NewFlagSet("adapt", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "gpufreqd base URL")
+	retrain := fs.Bool("retrain", false, "force a retrain instead of printing status")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *retrain {
+		var acc struct {
+			Status string `json:"status"`
+			Poll   string `json:"poll"`
+		}
+		if err := postJSON(*addr, "/adapt/retrain", struct{}{}, &acc); err != nil {
+			return err
+		}
+		fmt.Printf("retrain %s; poll %s (or: gpufreq adapt)\n", acc.Status, acc.Poll)
+		return nil
+	}
+	var st adapt.Status
+	if err := getJSON(*addr, "/adapt/status", &st); err != nil {
+		return err
+	}
+	fmt.Printf("auto-retrain: %v\n", st.Auto)
+	fmt.Printf("model:        %s\n", orNone(st.ModelVersion))
+	fmt.Printf("store:        %d/%d observations (%d total, %d dropped)\n",
+		st.Store.Count, st.Store.Capacity, st.Store.Total, st.Store.Dropped)
+	d := st.Drift
+	fmt.Printf("drift:        %v — %s\n", d.Drift, d.Reason)
+	fmt.Printf("  rolling RMSE   speedup %.4f  energy %.4f  (window %d, %d samples)\n",
+		d.SpeedupRMSE, d.EnergyRMSE, d.Window, d.Samples)
+	fmt.Printf("  baseline       speedup %.4f  energy %.4f\n", d.BaselineSpeedup, d.BaselineEnergy)
+	fmt.Printf("  threshold      speedup %.4f  energy %.4f\n", d.ThresholdSpeedup, d.ThresholdEnergy)
+	r := st.Retrain
+	fmt.Printf("retrains:     %d (%d activated, %d rejected)%s\n",
+		r.Retrains, r.Activated, r.Rejected, map[bool]string{true: " — one in progress", false: ""}[r.InProgress])
+	if r.LastOutcome != "" {
+		fmt.Printf("  last: %s → %s (%s)\n", orNone(r.LastVersion), r.LastOutcome, r.LastReason)
+		if r.LastHoldout != nil {
+			fmt.Printf("  holdout: candidate %.4f vs active %.4f over %d samples (passed=%v)\n",
+				r.LastHoldout.CandidateRMSE, r.LastHoldout.ActiveRMSE,
+				r.LastHoldout.Samples, r.LastHoldout.Passed)
+		}
+		if r.LastError != "" {
+			fmt.Printf("  error: %s\n", r.LastError)
+		}
+	}
+	return nil
+}
+
+// orNone renders an empty string as "(none)".
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
 }
 
 func cmdCharacterize(args []string) error {

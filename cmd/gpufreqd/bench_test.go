@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/registry"
@@ -157,7 +158,7 @@ func newBenchServer(b *testing.B) *server {
 	if err != nil {
 		b.Fatal(err)
 	}
-	s := newServer(engine.NewDefault(engine.Options{}), store, "titanx")
+	s := newServer(engine.NewDefault(engine.Options{}), store, "titanx", adapt.Config{})
 	if !s.loadActive() {
 		b.Fatal("bench server did not load the snapshot")
 	}

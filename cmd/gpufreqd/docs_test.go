@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/adapt"
 	"repro/internal/engine"
 	"repro/internal/registry"
 )
@@ -17,7 +18,7 @@ func docsServer(t *testing.T) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(engine.NewDefault(engine.Options{}), store, "titanx")
+	return newServer(engine.NewDefault(engine.Options{}), store, "titanx", adapt.Config{})
 }
 
 // TestAPIDocsCoverRoutes keeps docs/API.md honest in both directions:

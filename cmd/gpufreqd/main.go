@@ -16,11 +16,27 @@
 //	GET  /models/{id}            one version's manifest, training status, serving stats
 //	POST /models/{id}/activate   hot-swap serving to the given version
 //	POST /models/rollback        hot-swap serving back to the previously active version
+//	POST /observe                report a measured (features, config, speedup/energy) sample
+//	GET  /adapt/status           adaptation loop: store, drift verdict, retrain history
+//	POST /adapt/retrain          force a holdout-guarded retrain now
 //
 // Usage:
 //
 //	gpufreqd [-addr :8080] [-device titanx|p100] [-workers 0] [-settings 40]
 //	         [-model-dir DIR] [-model models.json] [-train-on-start]
+//	         [-adapt-auto] [-adapt-factor 2.0] [-adapt-min-samples 32]
+//	         [-adapt-cooldown 2m] [-adapt-capacity 1024] [-adapt-retrain-every 0]
+//	         [-adapt-max-age 0]
+//
+// The adaptation loop (internal/adapt) closes the train→serve→observe
+// cycle: POST /observe feeds a bounded observation store, a drift detector
+// compares rolling prediction error against the active snapshot's recorded
+// training residuals, and -adapt-auto (on by default) retrains in the
+// background when drift — or the sample-count/age policy — fires, folding
+// the observations into the training set. A candidate that is worse than
+// the active model on held-out observations is published but never
+// activated. -adapt-auto=false disables automatic retraining; drift is
+// still detected and reported, and POST /adapt/retrain still works.
 //
 // With -model-dir, trained models are published as versioned on-disk
 // snapshots and the active version is loaded on boot, so a restarted
@@ -40,6 +56,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -48,9 +65,11 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/features"
+	"repro/internal/freq"
 	"repro/internal/gpu"
 	"repro/internal/measure"
 	"repro/internal/nvml"
@@ -66,6 +85,13 @@ func main() {
 	modelDir := flag.String("model-dir", "", "model registry directory (versioned snapshots; empty = in-memory registry)")
 	modelPath := flag.String("model", "", "import pre-trained models from this flat file into the registry")
 	trainOnStart := flag.Bool("train-on-start", false, "train the models before accepting traffic")
+	adaptAuto := flag.Bool("adapt-auto", true, "retrain automatically when the drift detector (or a retrain policy) fires")
+	adaptFactor := flag.Float64("adapt-factor", 0, "drift threshold as a multiple of the training residual baseline (0 = default 2.0)")
+	adaptMinSamples := flag.Int("adapt-min-samples", 0, "observations required before drift is evaluated (0 = default 32)")
+	adaptCooldown := flag.Duration("adapt-cooldown", 0, "minimum spacing between automatic retrains (0 = default 2m)")
+	adaptCapacity := flag.Int("adapt-capacity", 0, "observation store bound in samples (0 = default 1024)")
+	adaptRetrainEvery := flag.Int("adapt-retrain-every", 0, "retrain after this many observations regardless of drift (0 = disabled)")
+	adaptMaxAge := flag.Duration("adapt-max-age", 0, "retrain when the active snapshot is older than this (0 = disabled)")
 	flag.Parse()
 
 	dev, err := device(*deviceName)
@@ -79,7 +105,15 @@ func main() {
 	srv := newServer(engine.New(measure.NewHarness(nvml.NewDevice(dev)), engine.Options{
 		Workers: *workers,
 		Core:    core.Options{SettingsPerKernel: *settings},
-	}), store, *deviceName)
+	}), store, *deviceName, adapt.Config{
+		Auto:         *adaptAuto,
+		DriftFactor:  *adaptFactor,
+		MinSamples:   *adaptMinSamples,
+		Cooldown:     *adaptCooldown,
+		Capacity:     *adaptCapacity,
+		RetrainEvery: *adaptRetrainEvery,
+		MaxModelAge:  *adaptMaxAge,
+	})
 
 	switch {
 	case *modelPath != "":
@@ -165,11 +199,13 @@ func (j *trainJob) snapshot(s *server) trainJob {
 }
 
 // server holds the HTTP layer's state: the engine, the snapshot store, the
-// hot-swap serving holder, and training-run bookkeeping.
+// hot-swap serving holder, the adaptation loop, and training-run
+// bookkeeping.
 type server struct {
 	engine  *engine.Engine
 	store   *registry.Store
 	serving *registry.Serving
+	adapt   *adapt.Controller
 	device  string
 	mux     *http.ServeMux
 	routes  []string // registered patterns, for introspection and docs checks
@@ -187,7 +223,7 @@ type server struct {
 	jobs   map[string]*trainJob // version -> training run
 }
 
-func newServer(e *engine.Engine, store *registry.Store, device string) *server {
+func newServer(e *engine.Engine, store *registry.Store, device string, acfg adapt.Config) *server {
 	s := &server{
 		engine:  e,
 		store:   store,
@@ -197,6 +233,16 @@ func newServer(e *engine.Engine, store *registry.Store, device string) *server {
 		start:   time.Now(),
 		jobs:    map[string]*trainJob{},
 	}
+	s.adapt = adapt.New(acfg, adapt.Deps{
+		Device: device,
+		Store:  store,
+		Current: func() (*engine.Predictor, string, bool) {
+			version, pred, _, ok := s.serving.Current()
+			return pred, version, ok
+		},
+		Install: s.activateAndInstall,
+		Trainer: adapt.NewEngineTrainer(e, nil),
+	})
 	s.handle("/healthz", s.handleHealthz)
 	s.handle("/train", s.handleTrain)
 	s.handle("/predict", s.handlePredict)
@@ -206,6 +252,15 @@ func newServer(e *engine.Engine, store *registry.Store, device string) *server {
 	s.handle("/models/{id}", s.handleModelGet)
 	s.handle("/models/{id}/activate", s.handleModelActivate)
 	s.handle("/models/rollback", s.handleRollback)
+	s.handle("/observe", s.handleObserve)
+	s.handle("/adapt/status", s.handleAdaptStatus)
+	s.handle("/adapt/retrain", s.handleAdaptRetrain)
+	// Unmatched paths get the same structured JSON error shape as every
+	// other failure, not net/http's plain-text 404 page. Registered
+	// directly on the mux: "/" is a fallback, not part of the API surface.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "no such endpoint %s (see docs/API.md)", r.URL.Path)
+	})
 	return s
 }
 
@@ -301,6 +356,29 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// readJSON decodes one JSON document from a POST body into v. It is the
+// shared malformed-body path of every POST endpoint, so they all fail the
+// same way: 400 with a structured {"error": ...} naming the problem —
+// including trailing garbage after the document, which plain Decode would
+// silently ignore. allowEmpty admits an empty body as the zero value (used
+// by endpoints whose parameters are all optional).
+func readJSON(r *http.Request, v any, allowEmpty bool) error {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			if allowEmpty {
+				return nil
+			}
+			return errors.New("empty request body")
+		}
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	if dec.More() {
+		return errors.New("bad request body: trailing data after the JSON document")
+	}
+	return nil
 }
 
 type healthResponse struct {
@@ -412,6 +490,9 @@ func (s *server) runTraining(job *trainJob, settingsOverride int) {
 		Samples:           len(samples),
 		DurationMS:        durationMS,
 	}
+	// Training residuals become the drift detector's baseline for this
+	// version (see internal/adapt).
+	tr.SpeedupRMSE, tr.EnergyRMSE = core.ResidualRMSE(models, samples)
 	if _, err := s.store.Save(s.device, job.Version, models, tr); err != nil {
 		fail(fmt.Errorf("publishing snapshot: %w", err))
 		return
@@ -440,11 +521,9 @@ func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req trainRequest
-	if r.ContentLength != 0 {
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-			return
-		}
+	if err := readJSON(r, &req, true); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 	job, err := s.startTraining(req.Settings)
 	if err != nil {
@@ -669,8 +748,8 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req predictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if err := readJSON(r, &req, false); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	kernels := req.Kernels
@@ -746,8 +825,8 @@ func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req selectRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if err := readJSON(r, &req, false); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	spec := req.Policy.WithDefaults()
@@ -795,4 +874,145 @@ func (s *server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, policiesResponse{Policies: policy.Builtins()})
+}
+
+// observeKernel is one reported observation: the kernel identified either
+// by OpenCL source (features are extracted server-side) or by a
+// pre-extracted static feature vector, plus the configuration it ran at
+// and the measured objectives relative to default clocks.
+type observeKernel struct {
+	// Source and Kernel identify the kernel by OpenCL source, exactly as
+	// on /predict. Alternatively Features carries the extracted static
+	// feature vector directly (takes precedence when both are present).
+	Source   string           `json:"source,omitempty"`
+	Kernel   string           `json:"kernel,omitempty"`
+	Features *features.Static `json:"features,omitempty"`
+	Config   freq.Config      `json:"config"`
+	Speedup  float64          `json:"speedup"`
+	Energy   float64          `json:"norm_energy"`
+}
+
+// observation converts the report to an adapt.Observation, extracting
+// features from source when no explicit vector was supplied.
+func (k observeKernel) observation() (adapt.Observation, error) {
+	o := adapt.Observation{
+		Kernel:     k.Kernel,
+		Config:     k.Config,
+		Speedup:    k.Speedup,
+		NormEnergy: k.Energy,
+	}
+	switch {
+	case k.Features != nil:
+		o.Features = *k.Features
+	case k.Source != "":
+		st, err := features.ExtractSource(k.Source, k.Kernel)
+		if err != nil {
+			return o, err
+		}
+		o.Features = st
+	default:
+		return o, errors.New("observation needs either source or features")
+	}
+	return o, nil
+}
+
+type observeRequest struct {
+	Observations []observeKernel `json:"observations"`
+	// Single-observation shorthand, accepted at the top level.
+	observeKernel
+}
+
+// observeResult is one observation's ingest outcome.
+type observeResult struct {
+	Kernel string `json:"kernel,omitempty"`
+	// Ingest is the controller's verdict (nil when the observation was
+	// rejected, with Error explaining why).
+	Ingest *adapt.IngestResult `json:"ingest,omitempty"`
+	Error  string              `json:"error,omitempty"`
+}
+
+type observeResponse struct {
+	ModelVersion string           `json:"model_version"`
+	Results      []observeResult  `json:"results"`
+	Store        adapt.StoreStats `json:"store"`
+}
+
+func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req observeRequest
+	if err := readJSON(r, &req, false); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	reports := req.Observations
+	if req.Source != "" || req.Features != nil {
+		reports = append(reports, req.observeKernel)
+	}
+	if len(reports) == 0 {
+		writeError(w, http.StatusBadRequest, "no observations in request")
+		return
+	}
+	version, _, _, ok := s.serving.Current()
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable,
+			"no active model version to observe against (POST /train first)")
+		return
+	}
+	results := make([]observeResult, len(reports))
+	for i, rep := range reports {
+		results[i].Kernel = rep.Kernel
+		o, err := rep.observation()
+		if err != nil {
+			results[i].Error = err.Error()
+			continue
+		}
+		res, err := s.adapt.Observe(o)
+		if err != nil {
+			results[i].Error = err.Error()
+			continue
+		}
+		results[i].Ingest = &res
+	}
+	writeJSON(w, http.StatusOK, observeResponse{
+		ModelVersion: version,
+		Results:      results,
+		Store:        s.adapt.StoreStats(),
+	})
+}
+
+func (s *server) handleAdaptStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.adapt.Status())
+}
+
+// adaptRetrainAccepted is the 202 response to POST /adapt/retrain.
+type adaptRetrainAccepted struct {
+	Status string `json:"status"`
+	Poll   string `json:"poll"`
+}
+
+func (s *server) handleAdaptRetrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if _, _, _, ok := s.serving.Current(); !ok {
+		writeError(w, http.StatusServiceUnavailable,
+			"no active model version to retrain from (POST /train first)")
+		return
+	}
+	if err := s.adapt.StartRetrain("manual: POST /adapt/retrain"); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, adaptRetrainAccepted{
+		Status: "retraining",
+		Poll:   "/adapt/status",
+	})
 }

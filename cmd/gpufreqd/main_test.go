@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/measure"
@@ -41,7 +42,7 @@ func testServerDir(t *testing.T, dir string) *server {
 	return newServer(engine.NewDefault(engine.Options{
 		Workers: 4,
 		Core:    core.Options{SettingsPerKernel: 4},
-	}), store, "titanx")
+	}), store, "titanx", adapt.Config{})
 }
 
 // testServerOn builds a server over a small engine for the named GPU
@@ -59,7 +60,7 @@ func testServerOn(t *testing.T, name string) *server {
 	return newServer(engine.New(measure.NewHarness(nvml.NewDevice(dev)), engine.Options{
 		Workers: 4,
 		Core:    core.Options{SettingsPerKernel: 4},
-	}), store, name)
+	}), store, name, adapt.Config{})
 }
 
 func get(t *testing.T, s *server, path string) *httptest.ResponseRecorder {

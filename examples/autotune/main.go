@@ -1,11 +1,17 @@
-// Autotune: pick a frequency configuration for a user kernel under an
-// explicit policy — either "fastest within an energy budget" or "most
-// frugal above a performance floor" — using the predicted Pareto set, then
-// verify the choice against the simulated hardware.
+// Autotune: pick a frequency configuration for a user kernel under a named
+// policy, verify it on the (simulated) hardware — and then keep the model
+// honest in production with the closed adaptation loop: measured
+// observations feed a drift detector, a workload shift triggers a guarded
+// auto-retrain, and the governor's decisions recover without anyone
+// retraining by hand.
 //
-// This is the deployment scenario the paper motivates: per-application
-// static clock setting via nvmlDeviceSetApplicationsClocks without ever
-// profiling the application across the 177-configuration space.
+// This is the full lifecycle the serving stack is built around:
+//
+//	train → serve → select → observe → drift → auto-retrain → re-select
+//
+// The same loop runs over HTTP in cmd/gpufreqd (POST /observe,
+// GET /adapt/status); this example drives it in-process so every step is
+// visible in order. See docs/TUTORIAL.md for the HTTP walkthrough.
 package main
 
 import (
@@ -13,10 +19,17 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/features"
+	"repro/internal/freq"
 	"repro/internal/gpu"
+	"repro/internal/measure"
+	"repro/internal/policy"
+	"repro/internal/registry"
 )
 
 // A 7-point stencil smoother: moderately memory-bound, unseen in training.
@@ -41,81 +54,241 @@ __kernel void smooth7(__global const float* in, __global float* out,
 func main() {
 	eng := engine.NewDefault(engine.Options{Core: core.Options{SettingsPerKernel: 16}})
 	harness := eng.Harness()
-	device := harness.Device()
+	ladder := harness.Device().Sim().Ladder
 
-	if _, err := eng.TrainDefault(context.Background()); err != nil {
-		log.Fatal(err)
-	}
-	predictor, err := eng.Predictor()
+	// ---- Train and serve ------------------------------------------------
+	fmt.Println("== train → serve ==")
+	trainer := adapt.NewEngineTrainer(eng, nil)
+	models, tr, err := trainer.Fit(context.Background(), nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	set, err := predictor.PredictSource(stencil, "smooth7")
+	store, err := registry.Open("") // in-memory; gpufreqd uses -model-dir
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("predicted Pareto set: %d configurations\n\n", len(set))
-
-	// Policy A: minimize energy subject to speedup >= 0.95.
-	if cfg, ok := frugalAbove(set, 0.95); ok {
-		fmt.Printf("policy A (most frugal with speedup >= 0.95): %v\n", cfg.Config)
-		fmt.Printf("  predicted: speedup %.3f, normalized energy %.3f\n", cfg.Speedup, cfg.NormEnergy)
-	} else {
-		fmt.Println("policy A: no predicted configuration meets the floor")
+	man, err := store.Save("titanx", "", models, tr)
+	if err != nil {
+		log.Fatal(err)
 	}
+	serving := registry.NewServing()
+	install := func(version string, m *core.Models) error {
+		if err := store.Activate("titanx", version); err != nil {
+			return err
+		}
+		serving.Install(version, engine.NewPredictor(m, ladder, eng.Options()))
+		return nil
+	}
+	if err := install(man.Version, models); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %s (training residuals: speedup %.1f%%, energy %.1f%%)\n\n",
+		man.Version, 100*tr.SpeedupRMSE, 100*tr.EnergyRMSE)
 
-	// Policy B: maximize speedup subject to normalized energy <= 1.0.
-	if cfg, ok := fastestUnder(set, 1.0); ok {
-		fmt.Printf("policy B (fastest with energy <= 1.0):        %v\n", cfg.Config)
-		fmt.Printf("  predicted: speedup %.3f, normalized energy %.3f\n", cfg.Speedup, cfg.NormEnergy)
+	// The production kernel, as the fleet initially runs it.
+	prof := mustProfile()
+	st := mustFeatures()
 
-		// Apply the clocks through the management API and verify on the
-		// simulated hardware, as a deployment harness would.
-		if err := device.DeviceSetApplicationsClocks(cfg.Config.Mem, cfg.Config.Core); err != nil {
-			log.Fatal(err)
-		}
-		applied := device.DeviceGetApplicationsClocks()
-		prof := mustProfile()
-		base, err := harness.Baseline(prof)
-		if err != nil {
-			log.Fatal(err)
-		}
-		rel, err := harness.MeasureRelative(prof, applied, base)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  measured:  speedup %.3f, normalized energy %.3f (applied %v)\n",
-			rel.Speedup, rel.NormEnergy, applied)
+	// ---- Select: resolve a policy to one configuration ------------------
+	fmt.Println("== select ==")
+	spec := policy.Spec{Name: policy.MinEnergy, MaxSlowdown: 0.05}
+	decision := decide(serving, st, spec)
+	fmt.Printf("policy %s (speedup >= %.2f) chose %v: predicted speedup %.3f, energy %.3f\n",
+		spec.Name, spec.SpeedupFloor(), decision.Chosen.Config,
+		decision.Chosen.Speedup, decision.Chosen.NormEnergy)
+	rel := measureAt(harness, prof, decision.Chosen.Config)
+	fmt.Printf("measured at %v: speedup %.3f, energy %.3f — model and hardware agree\n\n",
+		decision.Chosen.Config, rel.Speedup, rel.NormEnergy)
+
+	// ---- Observe: close the loop ----------------------------------------
+	// Production reports what actually happened after running at selected
+	// clocks. Calibrate the drift baseline on normal operation, exactly as
+	// docs/OPERATIONS.md recommends for workloads far from the synthetic
+	// training corpus.
+	obsConfigs := observationConfigs(ladder)
+	baseS, baseE := observedError(serving, harness, prof, st, obsConfigs)
+	ctl := adapt.New(adapt.Config{
+		Auto: true,
+		Sync: true, // inline retrains keep the narrative ordered
+		// 1.5× the calibrated normal-operation error: the tighter
+		// threshold docs/OPERATIONS.md recommends when the baseline is
+		// measured on the live workload rather than training residuals.
+		DriftFactor:     1.5,
+		Window:          2 * len(obsConfigs),
+		MinSamples:      len(obsConfigs),
+		BaselineSpeedup: baseS,
+		BaselineEnergy:  baseE,
+		Cooldown:        time.Hour,
+	}, adapt.Deps{
+		Device: "titanx",
+		Store:  store,
+		Current: func() (*engine.Predictor, string, bool) {
+			version, pred, _, ok := serving.Current()
+			return pred, version, ok
+		},
+		Install: install,
+		Trainer: trainer,
+	})
+	fmt.Println("== observe (normal operation) ==")
+	res := observePhase(ctl, harness, prof, st, obsConfigs)
+	fmt.Printf("%d observations, rolling error: speedup %.1f%%, energy %.1f%% — %s\n\n",
+		res.Drift.Samples, 100*res.Drift.SpeedupRMSE, 100*res.Drift.EnergyRMSE, res.Drift.Reason)
+
+	// ---- Drift: the workload shifts -------------------------------------
+	// The dataset outgrows the L2 cache and accesses scatter: the same
+	// kernel, the same static features — completely different behaviour.
+	fmt.Println("== drift (the dataset outgrew the cache) ==")
+	shifted := prof
+	shifted.CacheHitRate = 0
+	shifted.Coalescing = 0.15
+	stale := decide(serving, st, spec)
+	staleRel := measureAt(harness, shifted, stale.Chosen.Config)
+	fmt.Printf("the old decision %v now measures speedup %.3f vs predicted %.3f — the model is silently wrong\n",
+		stale.Chosen.Config, staleRel.Speedup, stale.Chosen.Speedup)
+
+	res = observePhase(ctl, harness, shifted, st, obsConfigs)
+	fmt.Printf("after %d shifted observations: rolling speedup error %.1f%% (threshold %.1f%%)\n",
+		res.Drift.Samples, 100*res.Drift.SpeedupRMSE, 100*res.Drift.ThresholdSpeedup)
+
+	// ---- Auto-retrain with guardrails -----------------------------------
+	fmt.Println("\n== auto-retrain ==")
+	rs := ctl.Status().Retrain
+	if rs.Retrains == 0 {
+		log.Fatal("the loop did not retrain (drift not detected)")
+	}
+	fmt.Printf("drift triggered retrain → %s (%s)\n", rs.LastVersion, rs.LastOutcome)
+	if rs.LastHoldout != nil {
+		fmt.Printf("holdout check: candidate %.1f%% vs active %.1f%% over %d held-out observations (passed=%v)\n",
+			100*rs.LastHoldout.CandidateRMSE, 100*rs.LastHoldout.ActiveRMSE,
+			rs.LastHoldout.Samples, rs.LastHoldout.Passed)
+	}
+	version, _, _, _ := serving.Current()
+	fmt.Printf("serving hot-swapped to %s (rollback target: %s)\n\n", version, man.Version)
+
+	// ---- Re-select: the loop paid off -----------------------------------
+	fmt.Println("== re-select ==")
+	fresh := decide(serving, st, spec)
+	freshRel := measureAt(harness, shifted, fresh.Chosen.Config)
+	fmt.Printf("policy %s now chooses %v: predicted speedup %.3f, measured %.3f\n",
+		spec.Name, fresh.Chosen.Config, fresh.Chosen.Speedup, freshRel.Speedup)
+
+	// The frozen model vs the adapted one, both judged on the shifted
+	// workload across every observation configuration.
+	frozen := registry.NewServing()
+	frozen.Install(man.Version, engine.NewPredictor(models, ladder, eng.Options()))
+	oldS, oldE := observedError(frozen, harness, shifted, st, obsConfigs)
+	newS, newE := observedError(serving, harness, shifted, st, obsConfigs)
+	fmt.Printf("model error on the shifted workload: speedup %.1f%% → %.1f%%, energy %.1f%% → %.1f%%\n",
+		100*oldS, 100*newS, 100*oldE, 100*newE)
+	if math.Max(newS, newE) < math.Max(oldS, oldE) {
+		fmt.Println("the loop recovered the workload shift without a manual retrain")
 	}
 }
 
-func frugalAbove(set []core.Prediction, floor float64) (core.Prediction, bool) {
-	best := core.Prediction{NormEnergy: math.Inf(1)}
-	found := false
-	for _, p := range set {
-		if p.MemLHeuristic {
-			continue // unmodeled extrapolation: not trusted by policy
-		}
-		if p.Speedup >= floor && p.NormEnergy < best.NormEnergy {
-			best, found = p, true
-		}
+// decide resolves the policy through the serving governor.
+func decide(serving *registry.Serving, st features.Static, spec policy.Spec) policy.Decision {
+	_, _, gov, ok := serving.Current()
+	if !ok {
+		log.Fatal("nothing is serving")
 	}
-	return best, found
+	d, err := gov.Decide(st, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return d
 }
 
-func fastestUnder(set []core.Prediction, cap float64) (core.Prediction, bool) {
-	best := core.Prediction{Speedup: math.Inf(-1)}
-	found := false
-	for _, p := range set {
-		if p.MemLHeuristic {
-			continue
-		}
-		if p.NormEnergy <= cap && p.Speedup > best.Speedup {
-			best, found = p, true
+// observationConfigs samples the configurations production actually runs
+// at: the two highest memory clocks across the core range.
+func observationConfigs(ladder *freq.Ladder) []freq.Config {
+	var cfgs []freq.Config
+	for _, m := range ladder.MemClocks()[:2] {
+		cores := ladder.CoreClocks(m)
+		step := len(cores)/5 + 1
+		for i := 0; i < len(cores); i += step {
+			cfgs = append(cfgs, freq.Config{Mem: m, Core: cores[i]})
 		}
 	}
-	return best, found
+	return cfgs
+}
+
+// observePhase measures the kernel at every observation configuration and
+// reports each sample into the adaptation loop.
+func observePhase(ctl *adapt.Controller, h *measure.Harness, prof gpu.KernelProfile, st features.Static, cfgs []freq.Config) adapt.IngestResult {
+	hc := h.Clone()
+	base, err := hc.Baseline(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var last adapt.IngestResult
+	for _, cfg := range cfgs {
+		rel, err := hc.MeasureRelative(prof, cfg, base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		last, err = ctl.Observe(adapt.Observation{
+			Kernel:     "smooth7",
+			Features:   st,
+			Config:     rel.Config,
+			Speedup:    rel.Speedup,
+			NormEnergy: rel.NormEnergy,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	return last
+}
+
+// observedError measures the serving model's error over the observation
+// configurations — the calibration that anchors the drift baseline to
+// normal operation. The error definition is the adaptation loop's own
+// (adapt.Residuals).
+func observedError(serving *registry.Serving, h *measure.Harness, prof gpu.KernelProfile, st features.Static, cfgs []freq.Config) (speedup, energy float64) {
+	_, pred, _, ok := serving.Current()
+	if !ok {
+		log.Fatal("nothing is serving")
+	}
+	hc := h.Clone()
+	base, err := hc.Baseline(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obs := make([]adapt.Observation, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		rel, err := hc.MeasureRelative(prof, cfg, base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		obs = append(obs, adapt.Observation{
+			Features: st, Config: rel.Config,
+			Speedup: rel.Speedup, NormEnergy: rel.NormEnergy,
+		})
+	}
+	return adapt.Residuals(pred, obs)
+}
+
+// measureAt measures the kernel at one configuration relative to default
+// clocks.
+func measureAt(h *measure.Harness, prof gpu.KernelProfile, cfg freq.Config) measure.Relative {
+	hc := h.Clone()
+	base, err := hc.Baseline(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel, err := hc.MeasureRelative(prof, cfg, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rel
+}
+
+func mustFeatures() features.Static {
+	st, err := features.ExtractSource(stencil, "smooth7")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return st
 }
 
 func mustProfile() gpu.KernelProfile {

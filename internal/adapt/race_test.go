@@ -1,0 +1,144 @@
+package adapt
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/registry"
+)
+
+// TestAutoRetrainUnderConcurrentPredictRace runs the real adaptation loop —
+// engine-backed trainer, registry publication, hot-swap install — while
+// prediction traffic keeps hitting the serving predictor. Run with -race
+// this is the loop's concurrency check. The probe loops are paced with
+// short sleeps so the single-vCPU CI runner cannot starve the background
+// retrain past the test deadline.
+func TestAutoRetrainUnderConcurrentPredictRace(t *testing.T) {
+	eng := engine.NewDefault(engine.Options{
+		Workers: 2,
+		Core:    core.Options{SettingsPerKernel: 4},
+	})
+	kernels := engine.TrainingKernels()[:12]
+	if _, err := eng.Train(context.Background(), kernels); err != nil {
+		t.Fatal(err)
+	}
+	store, err := registry.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serving := registry.NewServing()
+	models := eng.Models()
+	man, err := store.Save("titanx", "", models, registry.Training{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Activate("titanx", man.Version); err != nil {
+		t.Fatal(err)
+	}
+	install := func(version string, m *core.Models) error {
+		if err := store.Activate("titanx", version); err != nil {
+			return err
+		}
+		serving.Install(version, engine.NewPredictor(m, eng.Harness().Device().Sim().Ladder, eng.Options()))
+		return nil
+	}
+	if err := install(man.Version, models); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(Config{
+		Auto:            true,
+		MinSamples:      4,
+		BaselineSpeedup: 0.01,
+		BaselineEnergy:  0.01,
+		Cooldown:        time.Hour, // exactly one background retrain
+	}, Deps{
+		Device: "titanx",
+		Store:  store,
+		Current: func() (*engine.Predictor, string, bool) {
+			v, p, _, ok := serving.Current()
+			return p, v, ok
+		},
+		Install: install,
+		Trainer: NewEngineTrainer(eng, kernels),
+	})
+
+	// Concurrent predict traffic against the serving holder, paced so the
+	// retrain goroutine gets scheduled on one vCPU.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var predictions atomic.Int64
+	st := obs(0.5, 0.5).Features
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, pred, _, ok := serving.Current()
+				if !ok {
+					t.Error("serving lost its active version")
+					return
+				}
+				pred.ParetoSet(st)
+				predictions.Add(1)
+				time.Sleep(3 * time.Millisecond)
+			}
+		}()
+	}
+
+	// Observations far from the model's predictions: drift triggers an
+	// asynchronous retrain (Sync is false) that folds them in, publishes,
+	// holdout-checks, and hot-swaps under the live predict load.
+	var started bool
+	for i := 0; i < 8; i++ {
+		res, err := c.Observe(obs(0.5, 0.5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		started = started || res.RetrainStarted
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !started {
+		t.Fatal("drift did not start a background retrain")
+	}
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		rs := c.Status().Retrain
+		if rs.Retrains > 0 && !rs.InProgress {
+			if rs.LastOutcome == OutcomeFailed {
+				t.Fatalf("background retrain failed: %s", rs.LastError)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background retrain did not finish")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if predictions.Load() == 0 {
+		t.Fatal("no predictions served during the retrain")
+	}
+
+	// Whatever the holdout decided, serving must hold a consistent,
+	// usable version.
+	version, pred, _, ok := serving.Current()
+	if !ok || version == "" {
+		t.Fatal("no serving version after the retrain")
+	}
+	if set := pred.ParetoSet(st); len(set) == 0 {
+		t.Fatal("serving predictor returned an empty Pareto set")
+	}
+}

@@ -1,0 +1,141 @@
+package adapt
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/freq"
+)
+
+// Observation is one measured production sample reported back to the
+// serving stack: a kernel's static features, the frequency configuration it
+// actually ran at, and the measured objectives relative to default clocks —
+// the same (input, label) shape as a training sample, but observed live
+// instead of sampled offline.
+type Observation struct {
+	// Kernel optionally names the kernel the sample came from (diagnostics
+	// only; the features identify it to the models).
+	Kernel string `json:"kernel,omitempty"`
+	// Features is the kernel's static feature vector.
+	Features features.Static `json:"features"`
+	// Config is the frequency configuration the kernel ran at.
+	Config freq.Config `json:"config"`
+	// Speedup is the measured speedup relative to default clocks.
+	Speedup float64 `json:"speedup"`
+	// NormEnergy is the measured energy relative to default clocks.
+	NormEnergy float64 `json:"norm_energy"`
+	// At is when the observation was ingested (set by the store).
+	At time.Time `json:"at"`
+}
+
+// Validate rejects observations the models could not learn from: non-finite
+// or non-positive objectives, invalid feature vectors, and non-positive
+// clocks. NaN/Inf guarding here is what keeps a single corrupt report from
+// poisoning the rolling error and every later retrain.
+func (o Observation) Validate() error {
+	if !o.Features.Valid() {
+		return fmt.Errorf("adapt: invalid static features %v", o.Features)
+	}
+	for name, v := range map[string]float64{"speedup": o.Speedup, "norm_energy": o.NormEnergy} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("adapt: %s is not finite", name)
+		}
+		if v <= 0 {
+			return fmt.Errorf("adapt: %s must be positive, got %g", name, v)
+		}
+	}
+	if o.Config.Mem <= 0 || o.Config.Core <= 0 {
+		return fmt.Errorf("adapt: invalid configuration %v", o.Config)
+	}
+	return nil
+}
+
+// Sample converts the observation to a supervised training sample, the
+// shape a retrain folds into the training set.
+func (o Observation) Sample() core.Sample {
+	return core.Sample{
+		Kernel:     o.Kernel,
+		Config:     o.Config,
+		Vector:     features.Combine(o.Features, o.Config),
+		Speedup:    o.Speedup,
+		NormEnergy: o.NormEnergy,
+	}
+}
+
+// StoreStats is a snapshot of the observation store's accounting.
+type StoreStats struct {
+	// Count is the number of observations currently held.
+	Count int `json:"count"`
+	// Capacity is the store's bound.
+	Capacity int `json:"capacity"`
+	// Total is how many observations were ever ingested.
+	Total int `json:"total"`
+	// Dropped is how many old observations the bound evicted.
+	Dropped int `json:"dropped"`
+}
+
+// store is a bounded ring buffer of observations: ingestion is O(1), the
+// bound evicts the oldest sample, and snapshots copy out in arrival order.
+type store struct {
+	mu      sync.Mutex
+	buf     []Observation
+	start   int // index of the oldest observation
+	count   int
+	total   int
+	dropped int
+}
+
+func newStore(capacity int) *store {
+	return &store{buf: make([]Observation, capacity)}
+}
+
+// add ingests one observation, evicting the oldest past the bound.
+func (s *store) add(o Observation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == len(s.buf) {
+		s.buf[s.start] = o
+		s.start = (s.start + 1) % len(s.buf)
+		s.dropped++
+	} else {
+		s.buf[(s.start+s.count)%len(s.buf)] = o
+		s.count++
+	}
+	s.total++
+}
+
+// snapshot copies the held observations out, oldest first.
+func (s *store) snapshot() []Observation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Observation, s.count)
+	for i := 0; i < s.count; i++ {
+		out[i] = s.buf[(s.start+i)%len(s.buf)]
+	}
+	return out
+}
+
+// tail copies out the newest n observations, oldest of them first.
+func (s *store) tail(n int) []Observation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > s.count {
+		n = s.count
+	}
+	out := make([]Observation, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.buf[(s.start+s.count-n+i)%len(s.buf)]
+	}
+	return out
+}
+
+// stats snapshots the accounting counters.
+func (s *store) stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{Count: s.count, Capacity: len(s.buf), Total: s.total, Dropped: s.dropped}
+}

@@ -1,0 +1,83 @@
+package adapt
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/registry"
+)
+
+// Trainer produces a candidate model set from the base training corpus plus
+// the folded-in observations. The production implementation is
+// EngineTrainer; tests inject degenerate trainers to pin the holdout
+// guardrail (a candidate that is worse on held-out observations must never
+// be activated, no matter what the trainer returned).
+type Trainer interface {
+	// Fit trains candidate models on the base corpus extended with extra
+	// samples and reports the training metadata for the snapshot manifest.
+	Fit(ctx context.Context, extra []core.Sample) (*core.Models, registry.Training, error)
+}
+
+// EngineTrainer is the production Trainer: it rebuilds the synthetic
+// training set through the engine's worker pool (once — the set is
+// deterministic, so it is cached across retrains), appends the
+// observations, fits both SVRs concurrently, and records the training
+// residuals the drift detector will use as the next baseline.
+type EngineTrainer struct {
+	eng *engine.Engine
+	// Kernels overrides the training kernel list (nil = the paper's full
+	// 106-micro-benchmark suite); tests use small subsets.
+	Kernels []core.TrainingKernel
+
+	baseOnce    sync.Once
+	base        []core.Sample
+	baseKernels int
+	baseErr     error
+}
+
+// NewEngineTrainer builds the production trainer over an engine.
+func NewEngineTrainer(eng *engine.Engine, kernels []core.TrainingKernel) *EngineTrainer {
+	return &EngineTrainer{eng: eng, Kernels: kernels}
+}
+
+// baseSamples builds (once) the synthetic training set.
+func (t *EngineTrainer) baseSamples(ctx context.Context) ([]core.Sample, error) {
+	t.baseOnce.Do(func() {
+		kernels := t.Kernels
+		if kernels == nil {
+			kernels = engine.TrainingKernels()
+		}
+		t.baseKernels = len(kernels)
+		t.base, t.baseErr = t.eng.BuildTrainingSet(ctx, kernels)
+	})
+	return t.base, t.baseErr
+}
+
+// Fit implements Trainer: base synthetic samples plus the observations,
+// fitted through the engine's concurrent SVR path.
+func (t *EngineTrainer) Fit(ctx context.Context, extra []core.Sample) (*core.Models, registry.Training, error) {
+	base, err := t.baseSamples(ctx)
+	if err != nil {
+		return nil, registry.Training{}, err
+	}
+	samples := make([]core.Sample, 0, len(base)+len(extra))
+	samples = append(samples, base...)
+	samples = append(samples, extra...)
+	models, err := t.eng.Fit(ctx, samples)
+	if err != nil {
+		return nil, registry.Training{}, err
+	}
+	// Observations counts the extra samples as given; the adaptation
+	// controller overwrites it with the distinct observation count (its
+	// extra samples are weight-replicated).
+	tr := registry.Training{
+		SettingsPerKernel: t.eng.Options().Core.WithDefaults().SettingsPerKernel,
+		Kernels:           t.baseKernels,
+		Samples:           len(samples),
+		Observations:      len(extra),
+	}
+	tr.SpeedupRMSE, tr.EnergyRMSE = core.ResidualRMSE(models, samples)
+	return models, tr, nil
+}

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"repro/internal/features"
@@ -177,6 +178,27 @@ func Train(samples []Sample, opt Options) (*Models, error) {
 		return nil, fmt.Errorf("core: training energy model: %w", err)
 	}
 	return &Models{Speedup: sm, Energy: em}, nil
+}
+
+// ResidualRMSE evaluates trained models back on a supervised sample set
+// and returns the fractional root-mean-square residual per objective
+// (0.05 = 5 percentage points). Recorded in snapshot manifests at training
+// time, it is the baseline the adaptation loop's drift detector compares
+// live prediction error against. Empty input returns zeros.
+func ResidualRMSE(m *Models, samples []Sample) (speedup, energy float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	var ss, se float64
+	for _, s := range samples {
+		v := s.Vector.Slice()
+		ds := m.Speedup.Predict(v) - s.Speedup
+		de := m.Energy.Predict(v) - s.NormEnergy
+		ss += ds * ds
+		se += de * de
+	}
+	n := float64(len(samples))
+	return math.Sqrt(ss / n), math.Sqrt(se / n)
 }
 
 // Prediction is one predicted kernel execution: a frequency configuration

@@ -361,3 +361,25 @@ func TestP100PredictorNoHeuristic(t *testing.T) {
 		}
 	}
 }
+
+func TestResidualRMSE(t *testing.T) {
+	// Empty input is defined as zero.
+	models, h := sharedModels(t)
+	if s, e := ResidualRMSE(models, nil); s != 0 || e != 0 {
+		t.Errorf("ResidualRMSE(nil) = (%g, %g), want zeros", s, e)
+	}
+	// On its own training distribution the residuals are positive (the
+	// ε-tube admits errors) but bounded well below the prediction range.
+	bs := synth.Generate()[:4]
+	samples, err := BuildTrainingSet(h.Clone(), adapt(bs), Options{SettingsPerKernel: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, e := ResidualRMSE(models, samples)
+	if s <= 0 || e <= 0 {
+		t.Errorf("residuals = (%g, %g), want positive", s, e)
+	}
+	if s > 0.5 || e > 0.5 {
+		t.Errorf("residuals = (%g, %g), implausibly large", s, e)
+	}
+}

@@ -10,6 +10,7 @@ import (
 // every internal package — must document every exported symbol.
 func TestGodocCoverage(t *testing.T) {
 	for _, pkg := range []string{
+		"../adapt",
 		"../bench",
 		"../clkernel",
 		"../core",

@@ -1,0 +1,46 @@
+package doccheck
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target); images and
+// reference-style links are out of scope for this repository's docs.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// BrokenLinks scans markdown files for relative links whose targets do not
+// exist on disk and returns one "file: target" entry per broken link. It
+// is the docs half of the CI docs-lint job: a renamed or deleted document
+// fails the build instead of leaving dead links in README and docs/.
+// Absolute URLs (with a scheme) and pure in-page anchors are skipped; a
+// relative target's fragment ("file.md#section") is ignored — only the
+// file's existence is checked.
+func BrokenLinks(files []string) ([]string, error) {
+	var out []string
+	for _, file := range files {
+		doc, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("doccheck: reading %s: %w", file, err)
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(doc), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				out = append(out, fmt.Sprintf("%s: %s", file, m[1]))
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,53 @@
+package doccheck
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMarkdownLinks is CI's dead-link gate: every relative link in the
+// README and the docs/ tree must resolve to an existing file.
+func TestMarkdownLinks(t *testing.T) {
+	files := []string{"../../README.md"}
+	docs, err := filepath.Glob("../../docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) == 0 {
+		t.Fatal("no markdown files under docs/")
+	}
+	files = append(files, docs...)
+	broken, err := BrokenLinks(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range broken {
+		t.Errorf("broken relative link: %s", b)
+	}
+}
+
+// TestBrokenLinksDetects verifies the checker actually flags dead relative
+// links and ignores URLs and anchors.
+func TestBrokenLinksDetects(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "exists.md"), []byte("# target"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := `
+[fine](exists.md) [fine with fragment](exists.md#target)
+[url](https://example.com/missing.md) [anchor](#section)
+[dead](missing.md) [dead dir](sub/missing.md)
+`
+	src := filepath.Join(dir, "doc.md")
+	if err := os.WriteFile(src, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	broken, err := BrokenLinks([]string{src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) != 2 {
+		t.Fatalf("flagged %d links, want 2 (missing.md, sub/missing.md): %v", len(broken), broken)
+	}
+}

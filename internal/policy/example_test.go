@@ -1,0 +1,57 @@
+package policy_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/freq"
+	"repro/internal/policy"
+)
+
+// ExampleChoose resolves a min-energy policy over a predicted Pareto set:
+// the cheapest configuration whose predicted slowdown stays inside the cap
+// wins, deterministically.
+func ExampleChoose() {
+	pareto := []core.Prediction{
+		{Config: freq.Config{Mem: 3505, Core: 595}, Speedup: 0.62, NormEnergy: 0.81},
+		{Config: freq.Config{Mem: 3505, Core: 905}, Speedup: 0.92, NormEnergy: 0.90},
+		{Config: freq.Config{Mem: 3505, Core: 1202}, Speedup: 1.14, NormEnergy: 1.21},
+	}
+	d, err := policy.Choose(pareto, policy.Spec{Name: policy.MinEnergy, MaxSlowdown: 0.10})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("chosen %v (speedup %.2f, energy %.2f), feasible=%v of %d candidates\n",
+		d.Chosen.Config, d.Chosen.Speedup, d.Chosen.NormEnergy, d.Feasible, d.Candidates)
+	// Output:
+	// chosen 3505@905 (speedup 0.92, energy 0.90), feasible=true of 3 candidates
+}
+
+// ExampleChoose_infeasible shows the documented fallback: when no
+// configuration meets the constraint, the decision still names one and
+// says why.
+func ExampleChoose_infeasible() {
+	pareto := []core.Prediction{
+		{Config: freq.Config{Mem: 3505, Core: 595}, Speedup: 0.62, NormEnergy: 0.81},
+		{Config: freq.Config{Mem: 3505, Core: 1202}, Speedup: 1.14, NormEnergy: 1.21},
+	}
+	// A negative max_slowdown demands speedup ≥ 1.5 — nothing delivers it.
+	d, err := policy.Choose(pareto, policy.Spec{Name: policy.MinEnergy, MaxSlowdown: -0.5})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("chosen %v, feasible=%v\n", d.Chosen.Config, d.Feasible)
+	// Output:
+	// chosen 3505@1202, feasible=false
+}
+
+// ExampleSpec_WithDefaults shows that a bare policy name is a complete
+// specification.
+func ExampleSpec_WithDefaults() {
+	spec := policy.Spec{Name: policy.MinEnergy}.WithDefaults()
+	fmt.Printf("max_slowdown=%.2f energy_budget=%.1f\n", spec.MaxSlowdown, spec.EnergyBudget)
+	// Output:
+	// max_slowdown=0.10 energy_budget=1.0
+}

@@ -72,6 +72,14 @@ type Training struct {
 	Samples int `json:"samples"`
 	// DurationMS is the wall-clock training time in milliseconds.
 	DurationMS float64 `json:"duration_ms"`
+	// Observations is how many live observations were folded into the
+	// training set (0 for purely synthetic training runs).
+	Observations int `json:"observations,omitempty"`
+	// SpeedupRMSE and EnergyRMSE are the models' fractional residual RMSEs
+	// on their own training set (core.ResidualRMSE) — the drift detector's
+	// baseline. Zero in snapshots published before residual recording.
+	SpeedupRMSE float64 `json:"speedup_rmse,omitempty"`
+	EnergyRMSE  float64 `json:"energy_rmse,omitempty"`
 }
 
 // ModelInfo is one model's solver statistics, frozen into the manifest.
