@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/colproto"
+	"repro/internal/features"
+)
+
+// binaryContentType is the Content-Type selecting the binary framing of
+// gpufreqd's /predict/batch endpoint (mirrored from cmd/gpufreqd).
+const binaryContentType = "application/x-gpufreq-columns"
+
+// readColumnsFile loads a columnar batch request from disk. A .json file
+// holds the colproto.Columns document directly; anything else is parsed as
+// CSV with a header row naming the static features in features.Names
+// order, optionally preceded by a "name" column labeling each kernel.
+func readColumnsFile(path string) (*colproto.Columns, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cols := &colproto.Columns{}
+	if strings.HasSuffix(path, ".json") {
+		if err := json.Unmarshal(data, cols); err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		if err := cols.Validate(); err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		return cols, nil
+	}
+	recs, err := csv.NewReader(bytes.NewReader(data)).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(recs) < 2 {
+		return nil, fmt.Errorf("%s: want a header row and at least one kernel row", path)
+	}
+	header := recs[0]
+	named := len(header) > 0 && strings.EqualFold(strings.TrimSpace(header[0]), "name")
+	first := 0
+	if named {
+		first = 1
+	}
+	if len(header)-first != features.StaticDim {
+		return nil, fmt.Errorf("%s: header has %d feature columns, want %d (%s)",
+			path, len(header)-first, features.StaticDim, strings.Join(features.Names, ","))
+	}
+	for i, want := range features.Names {
+		if got := strings.TrimSpace(header[first+i]); got != want {
+			return nil, fmt.Errorf("%s: header column %d is %q, want %q (features must appear in canonical order)",
+				path, first+i+1, got, want)
+		}
+	}
+	for rowNo, rec := range recs[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("%s: row %d has %d fields, header has %d",
+				path, rowNo+2, len(rec), len(header))
+		}
+		name := ""
+		if named {
+			name = strings.TrimSpace(rec[0])
+		}
+		var st features.Static
+		for i := 0; i < features.StaticDim; i++ {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rec[first+i]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: row %d, column %q: %v",
+					path, rowNo+2, features.Names[i], err)
+			}
+			st[i] = v
+		}
+		cols.Append(name, st)
+	}
+	if !named {
+		cols.Names = nil
+	}
+	if err := cols.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return cols, nil
+}
+
+// batchPredict sends a columnar batch request to a running gpufreqd and
+// prints every kernel's predicted Pareto set. With binary set, both the
+// request and the response use the length-prefixed binary framing.
+func batchPredict(addr, path string, binary bool) error {
+	cols, err := readColumnsFile(path)
+	if err != nil {
+		return err
+	}
+	var fronts colproto.Fronts
+	if binary {
+		frame := cols.AppendBinary(nil)
+		resp, err := http.Post(strings.TrimRight(addr, "/")+"/predict/batch",
+			binaryContentType, bytes.NewReader(frame))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			// Errors always come back as JSON, whatever the request framing.
+			return decodeDaemon(resp, nil)
+		}
+		raw, err := readAll(resp)
+		if err != nil {
+			return err
+		}
+		if err := fronts.ParseBinary(raw); err != nil {
+			return err
+		}
+	} else {
+		if err := postJSON(addr, "/predict/batch", cols, &fronts); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("model %s: %d kernels\n", fronts.Version, fronts.Count)
+	for k := 0; k < fronts.Count; k++ {
+		label := fmt.Sprintf("kernel %d", k)
+		if k < len(cols.Names) && cols.Names[k] != "" {
+			label = cols.Names[k]
+		}
+		fmt.Printf("\n%s:\n", label)
+		fmt.Printf("%-12s %10s %12s\n", "mem@core", "speedup", "norm.energy")
+		for _, p := range fronts.Kernel(k) {
+			tag := ""
+			if p.MemLHeuristic {
+				tag = "  [mem-L heuristic]"
+			}
+			fmt.Printf("%-12s %10.3f %12.3f%s\n", p.Config, p.Speedup, p.NormEnergy, tag)
+		}
+	}
+	return nil
+}
+
+// readAll drains a response body.
+func readAll(resp *http.Response) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"mime"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/colproto"
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/freq"
+)
+
+// fakeBatchDaemon serves /predict/batch in both framings, echoing one
+// synthetic front per requested kernel (speedup derived from the kernel's
+// first feature so the round trip is observable).
+func fakeBatchDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict/batch", func(w http.ResponseWriter, r *http.Request) {
+		raw, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		binary := false
+		if mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type")); err == nil && mt == binaryContentType {
+			binary = true
+		}
+		var cols colproto.Columns
+		if binary {
+			if err := cols.ParseBinary(raw); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		} else if err := json.Unmarshal(raw, &cols); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := cols.Validate(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var resp colproto.Fronts
+		resp.Version = "v0007"
+		for _, st := range cols.StaticsInto(nil) {
+			resp.AppendFront([]core.Prediction{
+				{Config: freq.Config{Mem: 3505, Core: 1000}, Speedup: 1 + st[0], NormEnergy: 0.9},
+				{Config: freq.Config{Mem: 810, Core: 600}, Speedup: 0.5, NormEnergy: 0.4, MemLHeuristic: true},
+			})
+		}
+		if binary {
+			w.Header().Set("Content-Type", binaryContentType)
+			w.Write(resp.AppendBinary(nil))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(resp.AppendJSON(nil))
+	})
+	return httptest.NewServer(mux)
+}
+
+// captureStdout runs f with os.Stdout redirected and returns what it wrote.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	raw, _ := io.ReadAll(r)
+	if ferr != nil {
+		t.Fatalf("batch predict: %v (output so far: %s)", ferr, raw)
+	}
+	return string(raw)
+}
+
+// writeBatchCSV writes a named columnar CSV batch file for two kernels.
+func writeBatchCSV(t *testing.T, dir string) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("name," + strings.Join(features.Names, ",") + "\n")
+	b.WriteString("alpha,0.5,0,0,0,0,0,0.25,0,0,0.125\n")
+	b.WriteString("beta,0.75,0,0,0,0,0,0.5,0,0,0.25\n")
+	path := filepath.Join(dir, "batch.csv")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBatchPredictCSVRoundTrip(t *testing.T) {
+	srv := fakeBatchDaemon(t)
+	defer srv.Close()
+	path := writeBatchCSV(t, t.TempDir())
+	for _, binary := range []bool{false, true} {
+		out := captureStdout(t, func() error { return batchPredict(srv.URL, path, binary) })
+		for _, want := range []string{"model v0007: 2 kernels", "alpha:", "beta:",
+			"3505@1000", "1.500", "1.750", "[mem-L heuristic]"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("binary=%v: output missing %q:\n%s", binary, want, out)
+			}
+		}
+	}
+}
+
+func TestBatchPredictJSONFile(t *testing.T) {
+	srv := fakeBatchDaemon(t)
+	defer srv.Close()
+	var cols colproto.Columns
+	cols.Append("gamma", features.Static{0: 0.25})
+	doc, err := json.Marshal(&cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "batch.json")
+	if err := os.WriteFile(path, doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error { return batchPredict(srv.URL, path, false) })
+	if !strings.Contains(out, "gamma:") || !strings.Contains(out, "1.250") {
+		t.Errorf("JSON batch output missing kernel front:\n%s", out)
+	}
+}
+
+func TestReadColumnsFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"short.csv", "name," + strings.Join(features.Names, ",") + "\n", "at least one kernel"},
+		{"cols.csv", "name,a,b\nx,1,2\n", "feature columns"},
+		{"order.csv", "name," + strings.Join(append([]string{features.Names[1], features.Names[0]}, features.Names[2:]...), ",") + "\nx,1,2,3,4,5,6,7,8,9,10\n", "canonical order"},
+		{"badnum.csv", "name," + strings.Join(features.Names, ",") + "\nx,oops,2,3,4,5,6,7,8,9,10\n", features.Names[0]},
+		{"bad.json", "{", "bad.json"},
+	}
+	for _, tc := range cases {
+		if _, err := readColumnsFile(write(tc.name, tc.body)); err == nil {
+			t.Errorf("%s: want error containing %q, got nil", tc.name, tc.wantErr)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+	// Headerless feature order must also parse when unnamed.
+	p := write("ok.csv", strings.Join(features.Names, ",")+"\n0.5,0,0,0,0,0,0,0,0,0\n")
+	cols, err := readColumnsFile(p)
+	if err != nil {
+		t.Fatalf("unnamed CSV: %v", err)
+	}
+	if cols.Len() != 1 || len(cols.Names) != 0 {
+		t.Fatalf("unnamed CSV: Len=%d Names=%v", cols.Len(), cols.Names)
+	}
+}

@@ -14,6 +14,7 @@
 //	gpufreq load [-model-dir DIR] [-device titanx|p100] [-version vNNNN] [-out models.json]
 //	gpufreq models [-model-dir DIR] [-device titanx|p100]
 //	gpufreq predict [-model models.json | -model-dir DIR] [-kernel name] [-workers 0] <kernel.cl>
+//	gpufreq predict -batch columns.csv [-addr http://localhost:8080] [-binary]
 //	gpufreq select [-policy min-energy] [-max-slowdown 0.1] [-energy-budget 1.0]
 //	               [-device titanx|p100] [-model models.json | -model-dir DIR]
 //	               [-kernel name] <kernel.cl>
@@ -117,6 +118,7 @@ Commands:
   load          load (and verify) a snapshot from a model registry
   models        list the snapshots of a model registry
   predict       predict the Pareto-optimal frequency settings of a kernel
+                (-batch FILE sends a columnar batch to a running gpufreqd)
   select        resolve a named policy to one chosen frequency configuration
   characterize  measure a built-in test benchmark across all configurations
   observe       report a measured sample to a running gpufreqd's adaptation loop
@@ -272,7 +274,13 @@ func cmdSave(args []string) error {
 	// Recorded residuals are the baseline gpufreqd's drift detector
 	// compares live observations against.
 	tr.SpeedupRMSE, tr.EnergyRMSE = core.ResidualRMSE(models, samples)
-	man, err := store.Save(*dev, "", models, tr)
+	// Publish-time fronts: precompute every training kernel's ladder sweep
+	// and Pareto set so a daemon serving this snapshot resolves /select
+	// for known kernels without evaluating the SVRs.
+	fronts := registry.ComputeFronts(
+		engine.NewPredictor(models, eng.Harness().Device().Sim().Ladder, eng.Options()),
+		engine.TrainingKernels())
+	man, err := store.SaveWithFronts(*dev, "", models, tr, fronts)
 	if err != nil {
 		return err
 	}
@@ -281,8 +289,8 @@ func cmdSave(args []string) error {
 			return err
 		}
 	}
-	fmt.Printf("published %s/%s to %s (hash %.8s…, activate=%v)\n",
-		man.Device, man.Version, *modelDir, man.Hash, *activate)
+	fmt.Printf("published %s/%s to %s (hash %.8s…, %d kernel fronts, activate=%v)\n",
+		man.Device, man.Version, *modelDir, man.Hash, fronts.Len(), *activate)
 	return nil
 }
 
@@ -408,8 +416,17 @@ func cmdPredict(args []string) error {
 	kernel := fs.String("kernel", "", "kernel name (default: first kernel)")
 	settings := fs.Int("settings", 40, "training settings when no model file is given")
 	workers := fs.Int("workers", 0, "worker pool size (0 = NumCPU)")
+	batchFile := fs.String("batch", "", "columnar batch file (CSV or .json); predict via a running gpufreqd instead of locally")
+	addr := fs.String("addr", "http://localhost:8080", "gpufreqd base URL for -batch")
+	binary := fs.Bool("binary", false, "use the binary wire framing for -batch")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *batchFile != "" {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("usage: gpufreq predict -batch FILE [-addr URL] [-binary] (no positional kernel)")
+		}
+		return batchPredict(*addr, *batchFile, *binary)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: gpufreq predict [-model models.json | -model-dir DIR] <kernel.cl>")

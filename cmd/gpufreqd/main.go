@@ -10,6 +10,9 @@
 //	POST /train                  start a background (re)training run; returns 202 + version id
 //	POST /predict                predict Pareto sets; body: {"kernels": [{"source": "...", "kernel": "..."}]}
 //	                             or a single {"source": "...", "kernel": "..."}
+//	POST /predict/batch          columnar batch prediction over pre-extracted features
+//	                             (flat JSON columns, or binary framing via
+//	                             Content-Type: application/x-gpufreq-columns)
 //	POST /select                 resolve a policy to one chosen configuration
 //	GET  /policies               list the built-in policies and their parameters
 //	GET  /models                 list model versions (snapshots + in-flight training runs)
@@ -24,6 +27,7 @@
 //
 //	gpufreqd [-addr :8080] [-device titanx|p100] [-workers 0] [-settings 40]
 //	         [-model-dir DIR] [-model models.json] [-train-on-start]
+//	         [-read-concurrency 64] [-control-concurrency 16]
 //	         [-adapt-auto] [-adapt-factor 2.0] [-adapt-min-samples 32]
 //	         [-adapt-cooldown 2m] [-adapt-capacity 1024] [-adapt-retrain-every 0]
 //	         [-adapt-max-age 0]
@@ -45,6 +49,14 @@
 // activation and rollback all work, but nothing survives a restart.
 // Training runs in the background — /predict and /select keep serving the
 // old model and hot-swap to the new version when it is published.
+//
+// Handlers are split into a read plane (/predict, /predict/batch,
+// /select, /policies, /healthz) and a control plane (/train, /models*,
+// /observe, /adapt/*) with independent in-flight limits
+// (-read-concurrency, -control-concurrency; 0 = default, negative =
+// unlimited). A saturated plane sheds immediately with 503 and
+// Retry-After: 1 instead of queueing; per-plane shed counters appear in
+// GET /healthz.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests.
@@ -92,6 +104,8 @@ func main() {
 	adaptCapacity := flag.Int("adapt-capacity", 0, "observation store bound in samples (0 = default 1024)")
 	adaptRetrainEvery := flag.Int("adapt-retrain-every", 0, "retrain after this many observations regardless of drift (0 = disabled)")
 	adaptMaxAge := flag.Duration("adapt-max-age", 0, "retrain when the active snapshot is older than this (0 = disabled)")
+	readConcurrency := flag.Int("read-concurrency", 0, "max in-flight read-plane requests: predict/select/healthz/policies (0 = default 64, negative = unlimited)")
+	controlConcurrency := flag.Int("control-concurrency", 0, "max in-flight control-plane requests: train/models/observe/adapt (0 = default 16, negative = unlimited)")
 	flag.Parse()
 
 	dev, err := device(*deviceName)
@@ -102,7 +116,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("gpufreqd: %v", err)
 	}
-	srv := newServer(engine.New(measure.NewHarness(nvml.NewDevice(dev)), engine.Options{
+	srv := newServerLimits(engine.New(measure.NewHarness(nvml.NewDevice(dev)), engine.Options{
 		Workers: *workers,
 		Core:    core.Options{SettingsPerKernel: *settings},
 	}), store, *deviceName, adapt.Config{
@@ -113,7 +127,7 @@ func main() {
 		Capacity:     *adaptCapacity,
 		RetrainEvery: *adaptRetrainEvery,
 		MaxModelAge:  *adaptMaxAge,
-	})
+	}, planeLimits{Read: *readConcurrency, Control: *controlConcurrency})
 
 	switch {
 	case *modelPath != "":
@@ -221,9 +235,21 @@ type server struct {
 
 	jobsMu sync.Mutex
 	jobs   map[string]*trainJob // version -> training run
+
+	// read and control are the two handler planes' admission control:
+	// serving endpoints and management endpoints shed load independently.
+	read    *planeLimiter
+	control *planeLimiter
 }
 
+// newServer builds a server with default plane concurrency limits.
 func newServer(e *engine.Engine, store *registry.Store, device string, acfg adapt.Config) *server {
+	return newServerLimits(e, store, device, acfg, planeLimits{})
+}
+
+// newServerLimits is newServer with explicit read/control-plane
+// concurrency limits (see planeLimits).
+func newServerLimits(e *engine.Engine, store *registry.Store, device string, acfg adapt.Config, limits planeLimits) *server {
 	s := &server{
 		engine:  e,
 		store:   store,
@@ -232,6 +258,8 @@ func newServer(e *engine.Engine, store *registry.Store, device string, acfg adap
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		jobs:    map[string]*trainJob{},
+		read:    newPlaneLimiter("read", limits.Read, defaultReadConcurrency),
+		control: newPlaneLimiter("control", limits.Control, defaultControlConcurrency),
 	}
 	s.adapt = adapt.New(acfg, adapt.Deps{
 		Device: device,
@@ -242,19 +270,29 @@ func newServer(e *engine.Engine, store *registry.Store, device string, acfg adap
 		},
 		Install: s.activateAndInstall,
 		Trainer: adapt.NewEngineTrainer(e, nil),
+		Fronts: func(m *core.Models) *registry.Fronts {
+			return registry.ComputeFronts(
+				engine.NewPredictor(m, e.Harness().Device().Sim().Ladder, e.Options()),
+				engine.TrainingKernels())
+		},
 	})
-	s.handle("/healthz", s.handleHealthz)
-	s.handle("/train", s.handleTrain)
-	s.handle("/predict", s.handlePredict)
-	s.handle("/select", s.handleSelect)
-	s.handle("/policies", s.handlePolicies)
-	s.handle("/models", s.handleModels)
-	s.handle("/models/{id}", s.handleModelGet)
-	s.handle("/models/{id}/activate", s.handleModelActivate)
-	s.handle("/models/rollback", s.handleRollback)
-	s.handle("/observe", s.handleObserve)
-	s.handle("/adapt/status", s.handleAdaptStatus)
-	s.handle("/adapt/retrain", s.handleAdaptRetrain)
+	// Read plane: the serving hot path. Sheds independently of the control
+	// plane, so a management burst can never queue behind predictions or
+	// vice versa.
+	s.handleRead("/healthz", s.handleHealthz)
+	s.handleRead("/predict", s.handlePredict)
+	s.handleRead("/predict/batch", s.handlePredictBatch)
+	s.handleRead("/select", s.handleSelect)
+	s.handleRead("/policies", s.handlePolicies)
+	// Control plane: training, registry management, adaptation.
+	s.handleControl("/train", s.handleTrain)
+	s.handleControl("/models", s.handleModels)
+	s.handleControl("/models/{id}", s.handleModelGet)
+	s.handleControl("/models/{id}/activate", s.handleModelActivate)
+	s.handleControl("/models/rollback", s.handleRollback)
+	s.handleControl("/observe", s.handleObserve)
+	s.handleControl("/adapt/status", s.handleAdaptStatus)
+	s.handleControl("/adapt/retrain", s.handleAdaptRetrain)
 	// Unmatched paths get the same structured JSON error shape as every
 	// other failure, not net/http's plain-text 404 page. Registered
 	// directly on the mux: "/" is a fallback, not part of the API surface.
@@ -271,43 +309,66 @@ func (s *server) handle(pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, h)
 }
 
+// handleRead registers a read-plane route under the read limiter.
+func (s *server) handleRead(pattern string, h http.HandlerFunc) {
+	s.handle(pattern, s.read.wrap(h))
+}
+
+// handleControl registers a control-plane route under the control limiter.
+func (s *server) handleControl(pattern string, h http.HandlerFunc) {
+	s.handle(pattern, s.control.wrap(h))
+}
+
 // install publishes a model set as the serving version, hot-swapping the
 // predictor/governor pair behind the serving holder's RWMutex so
 // concurrent /predict and /select requests never see a half-installed
 // version. The predictor is built directly from the models (not read back
 // from the engine), so the (version, models) pairing cannot be torn by a
 // concurrent install; the engine's models are updated too for its own
-// consumers (Trained, solver-stat reporting).
-func (s *server) install(version string, models *core.Models) error {
+// consumers (Trained, solver-stat reporting). fronts is the snapshot's
+// publish-time front table (nil for snapshots without one): the fresh
+// governor serves kernels in the table without any SVR evaluations.
+func (s *server) install(version string, models *core.Models, fronts *registry.Fronts) error {
 	pred := engine.NewPredictor(models, s.engine.Harness().Device().Sim().Ladder, s.engine.Options())
 	s.engine.SetModels(models)
-	s.serving.Install(version, pred)
+	s.serving.InstallWithFronts(version, pred, fronts)
 	return nil
 }
 
 // activateAndInstall points the store's ACTIVE pointer at the version and
-// hot-swaps serving to it, as one serialized step.
+// hot-swaps serving to it, as one serialized step. The snapshot's
+// precomputed fronts, when present, are loaded from the store so every
+// activation path — training publish, HTTP activate, rollback, adapt —
+// hydrates the governor the same way.
 func (s *server) activateAndInstall(version string, models *core.Models) error {
 	s.installMu.Lock()
 	defer s.installMu.Unlock()
 	if err := s.store.Activate(s.device, version); err != nil {
 		return err
 	}
-	return s.install(version, models)
+	fronts, err := s.store.LoadFronts(s.device, version)
+	if err != nil {
+		// Activate already integrity-checked the snapshot; a fronts load
+		// failure here is unexpected but never fatal — serve with live
+		// sweeps instead.
+		log.Printf("gpufreqd: loading fronts for %s: %v", version, err)
+		fronts = nil
+	}
+	return s.install(version, models, fronts)
 }
 
 // loadActive loads and installs the device's active snapshot from the
 // store, if one exists. Used at boot so a restart against a populated
 // model directory serves without retraining.
 func (s *server) loadActive() bool {
-	models, man, err := s.store.Load(s.device, "")
+	models, fronts, man, err := s.store.LoadFull(s.device, "")
 	if err != nil {
 		if !errors.Is(err, registry.ErrNoSnapshot) {
 			log.Printf("gpufreqd: loading active snapshot: %v", err)
 		}
 		return false
 	}
-	if err := s.install(man.Version, models); err != nil {
+	if err := s.install(man.Version, models, fronts); err != nil {
 		log.Printf("gpufreqd: installing %s: %v", man.Version, err)
 		return false
 	}
@@ -329,7 +390,9 @@ func (s *server) activeManifest() registry.Manifest {
 }
 
 // importModels stores an externally supplied model set as a snapshot
-// (deduplicated by content hash) and activates it.
+// (deduplicated by content hash) and activates it. Like a training run,
+// the import sweeps the training-kernel fronts at publish time so the
+// imported snapshot serves /select from the table.
 func (s *server) importModels(models *core.Models) (string, error) {
 	hash, err := registry.HashModels(models)
 	if err != nil {
@@ -337,7 +400,10 @@ func (s *server) importModels(models *core.Models) (string, error) {
 	}
 	version, ok := s.store.FindByHash(s.device, hash)
 	if !ok {
-		man, err := s.store.Save(s.device, "", models, registry.Training{})
+		fronts := registry.ComputeFronts(
+			engine.NewPredictor(models, s.engine.Harness().Device().Sim().Ladder, s.engine.Options()),
+			engine.TrainingKernels())
+		man, err := s.store.SaveWithFronts(s.device, "", models, registry.Training{}, fronts)
 		if err != nil {
 			return "", err
 		}
@@ -390,6 +456,9 @@ type healthResponse struct {
 	UptimeSeconds float64            `json:"uptime_seconds"`
 	Workers       int                `json:"workers"`
 	Cache         *engine.CacheStats `json:"cache,omitempty"`
+	// Planes reports per-plane admission control: concurrency limits and
+	// requests shed since boot.
+	Planes planesInfo `json:"planes"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -403,6 +472,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Workers:       s.engine.Options().Workers,
 		Registry:      "memory",
+		Planes:        planesInfo{Read: s.read.info(), Control: s.control.info()},
 	}
 	if s.store.Persistent() {
 		resp.Registry = s.store.Dir()
@@ -493,7 +563,11 @@ func (s *server) runTraining(job *trainJob, settingsOverride int) {
 	// Training residuals become the drift detector's baseline for this
 	// version (see internal/adapt).
 	tr.SpeedupRMSE, tr.EnergyRMSE = core.ResidualRMSE(models, samples)
-	if _, err := s.store.Save(s.device, job.Version, models, tr); err != nil {
+	// Publish-time fronts: sweep the full ladder for every training kernel
+	// once, so /select on known kernels never evaluates the SVRs again.
+	fronts := registry.ComputeFronts(
+		engine.NewPredictor(models, eng.Harness().Device().Sim().Ladder, eng.Options()), kernels)
+	if _, err := s.store.SaveWithFronts(s.device, job.Version, models, tr, fronts); err != nil {
 		fail(fmt.Errorf("publishing snapshot: %w", err))
 		return
 	}

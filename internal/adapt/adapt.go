@@ -179,6 +179,12 @@ type Deps struct {
 	Install func(version string, m *core.Models) error
 	// Trainer produces candidate models from base corpus + observations.
 	Trainer Trainer
+	// Fronts optionally computes the publish-time front table for a
+	// candidate model set, so adapt-published snapshots serve /select from
+	// the table like training-published ones — gpufreqd passes
+	// registry.ComputeFronts over the training kernels. Nil publishes
+	// candidates without fronts (the only optional field).
+	Fronts func(m *core.Models) *registry.Fronts
 }
 
 // Outcomes recorded in RetrainState.LastOutcome.
@@ -484,7 +490,11 @@ func (c *Controller) runRetrain(ctx context.Context, reason string) (RetrainStat
 	if err != nil {
 		return finish(OutcomeFailed, "", nil, fmt.Errorf("adapt: reserving version: %w", err))
 	}
-	if _, err := c.deps.Store.Save(c.deps.Device, version, models, tr); err != nil {
+	var fronts *registry.Fronts
+	if c.deps.Fronts != nil {
+		fronts = c.deps.Fronts(models)
+	}
+	if _, err := c.deps.Store.SaveWithFronts(c.deps.Device, version, models, tr, fronts); err != nil {
 		return finish(OutcomeFailed, version, nil, fmt.Errorf("adapt: publishing candidate: %w", err))
 	}
 

@@ -1,0 +1,385 @@
+// Package colproto defines the columnar wire protocol of the batch
+// prediction endpoint (POST /predict/batch): a request carrying one flat
+// array per static code feature instead of an array of per-kernel objects,
+// and a response carrying every kernel's Pareto set as offset-indexed flat
+// columns. The layout exists for the serving hot path — flat arrays decode
+// into reusable buffers, encode with handwritten appenders, and never
+// force per-kernel allocations — but it is also the natural shape for
+// callers that already hold feature matrices (schedulers, batch sweeps).
+//
+// Both messages exist in two framings that carry identical information:
+//
+//   - JSON, with the field names documented in docs/API.md. Feature
+//     columns appear in features.Names order.
+//   - A length-prefixed little-endian binary framing, selected by
+//     Content-Type application/x-gpufreq-columns. Requests start with the
+//     magic "GFC1", responses with "GFF1".
+//
+// The binary framings are byte-exact functions of their content, so a
+// decode/encode round trip is bit-identical (pinned by the package tests).
+package colproto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/freq"
+)
+
+// MagicColumns and MagicFronts are the 4-byte magics opening the binary
+// request and response framings.
+const (
+	MagicColumns = "GFC1"
+	MagicFronts  = "GFF1"
+)
+
+// Columns is the columnar batch request: n kernels as one flat array per
+// static code feature. Feature columns are ordered exactly as
+// features.Names; all columns must have equal length.
+type Columns struct {
+	// Names optionally labels the kernels, index-aligned with the columns.
+	// Empty or nil means unlabeled. Not carried by the binary framing.
+	Names []string `json:"names,omitempty"`
+	// Columns holds one array per static feature, in features.Names order
+	// (so Columns[0] is every kernel's int_add fraction, and so on).
+	Columns [][]float64 `json:"columns"`
+}
+
+// Reset empties the request in place, keeping column capacity for reuse.
+func (c *Columns) Reset() {
+	c.Names = c.Names[:0]
+	if c.Columns == nil {
+		c.Columns = make([][]float64, features.StaticDim)
+	}
+	for i := range c.Columns {
+		c.Columns[i] = c.Columns[i][:0]
+	}
+}
+
+// Append adds one kernel to the request, transposing its static feature
+// vector into the columns.
+func (c *Columns) Append(name string, st features.Static) {
+	if c.Columns == nil {
+		c.Columns = make([][]float64, features.StaticDim)
+	}
+	c.Names = append(c.Names, name)
+	for i := 0; i < features.StaticDim; i++ {
+		c.Columns[i] = append(c.Columns[i], st[i])
+	}
+}
+
+// Len returns the number of kernels in the request (the column length).
+func (c *Columns) Len() int {
+	if len(c.Columns) == 0 {
+		return 0
+	}
+	return len(c.Columns[0])
+}
+
+// Validate checks the structural invariants: exactly features.StaticDim
+// columns, all of equal non-zero length, and Names (when present) aligned
+// with them.
+func (c *Columns) Validate() error {
+	if len(c.Columns) != features.StaticDim {
+		return fmt.Errorf("colproto: %d feature columns, want %d (%v)",
+			len(c.Columns), features.StaticDim, features.Names)
+	}
+	n := len(c.Columns[0])
+	for i, col := range c.Columns {
+		if len(col) != n {
+			return fmt.Errorf("colproto: column %q has %d entries, column %q has %d",
+				features.Names[i], len(col), features.Names[0], n)
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("colproto: empty batch")
+	}
+	if len(c.Names) != 0 && len(c.Names) != n {
+		return fmt.Errorf("colproto: %d names for %d kernels", len(c.Names), n)
+	}
+	return nil
+}
+
+// StaticsInto transposes the columns back into per-kernel static feature
+// vectors, appending to dst (pass dst[:0] to reuse its backing). Call
+// Validate first; StaticsInto assumes a well-formed request.
+func (c *Columns) StaticsInto(dst []features.Static) []features.Static {
+	n := c.Len()
+	for k := 0; k < n; k++ {
+		var st features.Static
+		for i := 0; i < features.StaticDim; i++ {
+			st[i] = c.Columns[i][k]
+		}
+		dst = append(dst, st)
+	}
+	return dst
+}
+
+// AppendBinary appends the request's binary framing to dst and returns the
+// extended slice: MagicColumns, a uint32 kernel count, then the
+// features.StaticDim float64 columns back to back. Names are not carried.
+func (c *Columns) AppendBinary(dst []byte) []byte {
+	dst = append(dst, MagicColumns...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(c.Len()))
+	for _, col := range c.Columns {
+		for _, v := range col {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	return dst
+}
+
+// ParseBinary decodes a binary request into c, reusing its column backing
+// (Reset semantics). The frame must be complete and exactly sized.
+func (c *Columns) ParseBinary(data []byte) error {
+	if len(data) < len(MagicColumns)+4 || string(data[:4]) != MagicColumns {
+		return fmt.Errorf("colproto: not a binary columns frame")
+	}
+	n := int(binary.LittleEndian.Uint32(data[4:8]))
+	want := 8 + features.StaticDim*n*8
+	if len(data) != want {
+		return fmt.Errorf("colproto: columns frame is %d bytes, want %d for %d kernels",
+			len(data), want, n)
+	}
+	c.Reset()
+	off := 8
+	for i := 0; i < features.StaticDim; i++ {
+		col := c.Columns[i]
+		for k := 0; k < n; k++ {
+			col = append(col, math.Float64frombits(binary.LittleEndian.Uint64(data[off:off+8])))
+			off += 8
+		}
+		c.Columns[i] = col
+	}
+	return nil
+}
+
+// Fronts is the columnar batch response: every kernel's Pareto set
+// flattened into shared columns, delimited by the offsets array. Kernel
+// i's points occupy the half-open index range [Offsets[i], Offsets[i+1])
+// of each column.
+type Fronts struct {
+	// Version is the model snapshot version that produced the predictions.
+	Version string `json:"version"`
+	// Count is the number of kernels (len(Offsets) - 1).
+	Count int `json:"count"`
+	// Offsets delimits the per-kernel ranges; len Count+1, starting at 0.
+	Offsets []int `json:"offsets"`
+	// Mem and Core are the configuration columns in MHz.
+	Mem  []int `json:"mem"`
+	Core []int `json:"core"`
+	// Speedup and Energy are the predicted objective columns.
+	Speedup []float64 `json:"speedup"`
+	Energy  []float64 `json:"energy"`
+	// MemL flags the rows that are the appended mem-L heuristic point.
+	MemL []bool `json:"mem_l"`
+}
+
+// Reset empties the response in place, keeping capacity for reuse.
+func (f *Fronts) Reset() {
+	f.Version = ""
+	f.Count = 0
+	f.Offsets = f.Offsets[:0]
+	f.Mem = f.Mem[:0]
+	f.Core = f.Core[:0]
+	f.Speedup = f.Speedup[:0]
+	f.Energy = f.Energy[:0]
+	f.MemL = f.MemL[:0]
+}
+
+// AppendFront adds one kernel's Pareto set to the response columns.
+func (f *Fronts) AppendFront(preds []core.Prediction) {
+	if len(f.Offsets) == 0 {
+		f.Offsets = append(f.Offsets, 0)
+	}
+	for _, p := range preds {
+		f.Mem = append(f.Mem, int(p.Config.Mem))
+		f.Core = append(f.Core, int(p.Config.Core))
+		f.Speedup = append(f.Speedup, p.Speedup)
+		f.Energy = append(f.Energy, p.NormEnergy)
+		f.MemL = append(f.MemL, p.MemLHeuristic)
+	}
+	f.Offsets = append(f.Offsets, len(f.Mem))
+	f.Count++
+}
+
+// Kernel materializes kernel i's Pareto set from the columns — the
+// client-side convenience accessor (it allocates; the serving path never
+// calls it).
+func (f *Fronts) Kernel(i int) []core.Prediction {
+	lo, hi := f.Offsets[i], f.Offsets[i+1]
+	out := make([]core.Prediction, 0, hi-lo)
+	for j := lo; j < hi; j++ {
+		out = append(out, core.Prediction{
+			Config:        freq.Config{Mem: freq.MHz(f.Mem[j]), Core: freq.MHz(f.Core[j])},
+			Speedup:       f.Speedup[j],
+			NormEnergy:    f.Energy[j],
+			MemLHeuristic: f.MemL[j],
+		})
+	}
+	return out
+}
+
+// AppendJSON appends the response's JSON encoding to dst and returns the
+// extended slice — the handwritten encoder the zero-alloc serve path uses
+// instead of reflection-based marshaling. The output unmarshals back into
+// an equal Fronts via encoding/json (pinned by the package tests); float
+// formatting is strconv's shortest round-trip form, which can differ
+// textually from encoding/json's for extreme exponents while decoding to
+// the same value.
+func (f *Fronts) AppendJSON(dst []byte) []byte {
+	dst = append(dst, `{"version":`...)
+	dst = strconv.AppendQuote(dst, f.Version)
+	dst = append(dst, `,"count":`...)
+	dst = strconv.AppendInt(dst, int64(f.Count), 10)
+	dst = append(dst, `,"offsets":`...)
+	dst = appendIntArray(dst, f.Offsets)
+	dst = append(dst, `,"mem":`...)
+	dst = appendIntArray(dst, f.Mem)
+	dst = append(dst, `,"core":`...)
+	dst = appendIntArray(dst, f.Core)
+	dst = append(dst, `,"speedup":`...)
+	dst = appendFloatArray(dst, f.Speedup)
+	dst = append(dst, `,"energy":`...)
+	dst = appendFloatArray(dst, f.Energy)
+	dst = append(dst, `,"mem_l":`...)
+	dst = appendBoolArray(dst, f.MemL)
+	return append(dst, '}')
+}
+
+// AppendBinary appends the response's binary framing to dst: MagicFronts,
+// a uint16-length-prefixed version string, uint32 kernel and total point
+// counts, the Count+1 uint32 offsets, the four float64/int32 point columns,
+// and the mem-L flag bytes.
+func (f *Fronts) AppendBinary(dst []byte) []byte {
+	dst = append(dst, MagicFronts...)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(f.Version)))
+	dst = append(dst, f.Version...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.Count))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Mem)))
+	for _, o := range f.Offsets {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(o))
+	}
+	for _, v := range f.Mem {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(v)))
+	}
+	for _, v := range f.Core {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(v)))
+	}
+	for _, v := range f.Speedup {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	for _, v := range f.Energy {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	for _, b := range f.MemL {
+		if b {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+// ParseBinary decodes a binary response into f, reusing its column backing
+// (Reset semantics). The frame must be complete and exactly sized.
+func (f *Fronts) ParseBinary(data []byte) error {
+	if len(data) < len(MagicFronts)+2 || string(data[:4]) != MagicFronts {
+		return fmt.Errorf("colproto: not a binary fronts frame")
+	}
+	off := 4
+	vlen := int(binary.LittleEndian.Uint16(data[off : off+2]))
+	off += 2
+	if len(data) < off+vlen+8 {
+		return fmt.Errorf("colproto: truncated fronts frame")
+	}
+	version := string(data[off : off+vlen])
+	off += vlen
+	count := int(binary.LittleEndian.Uint32(data[off : off+4]))
+	total := int(binary.LittleEndian.Uint32(data[off+4 : off+8]))
+	off += 8
+	want := off + (count+1)*4 + total*(4+4+8+8+1)
+	if len(data) != want {
+		return fmt.Errorf("colproto: fronts frame is %d bytes, want %d for %d kernels / %d points",
+			len(data), want, count, total)
+	}
+	f.Reset()
+	f.Version = version
+	f.Count = count
+	for i := 0; i <= count; i++ {
+		f.Offsets = append(f.Offsets, int(binary.LittleEndian.Uint32(data[off:off+4])))
+		off += 4
+	}
+	for i := 0; i < total; i++ {
+		f.Mem = append(f.Mem, int(int32(binary.LittleEndian.Uint32(data[off:off+4]))))
+		off += 4
+	}
+	for i := 0; i < total; i++ {
+		f.Core = append(f.Core, int(int32(binary.LittleEndian.Uint32(data[off:off+4]))))
+		off += 4
+	}
+	for i := 0; i < total; i++ {
+		f.Speedup = append(f.Speedup, math.Float64frombits(binary.LittleEndian.Uint64(data[off:off+8])))
+		off += 8
+	}
+	for i := 0; i < total; i++ {
+		f.Energy = append(f.Energy, math.Float64frombits(binary.LittleEndian.Uint64(data[off:off+8])))
+		off += 8
+	}
+	for i := 0; i < total; i++ {
+		f.MemL = append(f.MemL, data[off] != 0)
+		off++
+	}
+	return nil
+}
+
+// appendIntArray appends a JSON array of integers.
+func appendIntArray(dst []byte, vs []int) []byte {
+	if vs == nil {
+		return append(dst, "null"...)
+	}
+	dst = append(dst, '[')
+	for i, v := range vs {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendInt(dst, int64(v), 10)
+	}
+	return append(dst, ']')
+}
+
+// appendFloatArray appends a JSON array of floats in encoding/json's
+// shortest round-trip format.
+func appendFloatArray(dst []byte, vs []float64) []byte {
+	if vs == nil {
+		return append(dst, "null"...)
+	}
+	dst = append(dst, '[')
+	for i, v := range vs {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
+	}
+	return append(dst, ']')
+}
+
+// appendBoolArray appends a JSON array of booleans.
+func appendBoolArray(dst []byte, vs []bool) []byte {
+	if vs == nil {
+		return append(dst, "null"...)
+	}
+	dst = append(dst, '[')
+	for i, v := range vs {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendBool(dst, v)
+	}
+	return append(dst, ']')
+}

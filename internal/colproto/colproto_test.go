@@ -1,0 +1,170 @@
+package colproto
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/freq"
+)
+
+func sampleStatics(n int) []features.Static {
+	out := make([]features.Static, n)
+	for k := range out {
+		for i := 0; i < features.StaticDim; i++ {
+			out[k][i] = float64(k*features.StaticDim+i) / 97.0
+		}
+	}
+	return out
+}
+
+func sampleFronts() *Fronts {
+	f := &Fronts{Version: "v0042"}
+	f.AppendFront([]core.Prediction{
+		{Config: freq.Config{Mem: 3505, Core: 595}, Speedup: 0.51, NormEnergy: 0.62},
+		{Config: freq.Config{Mem: 3505, Core: 1189}, Speedup: 1.0, NormEnergy: 1.0},
+		{Config: freq.Config{Mem: 810, Core: 1189}, Speedup: 0.7, NormEnergy: 0.8, MemLHeuristic: true},
+	})
+	f.AppendFront(nil) // a kernel with an empty front stays representable
+	f.AppendFront([]core.Prediction{
+		{Config: freq.Config{Mem: 810, Core: 405}, Speedup: 0.25, NormEnergy: 0.31},
+	})
+	return f
+}
+
+func TestColumnsRoundTripJSON(t *testing.T) {
+	var c Columns
+	c.Reset()
+	for i, st := range sampleStatics(5) {
+		c.Append(string(rune('a'+i)), st)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	doc, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back Columns
+	if err := json.Unmarshal(doc, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(back.StaticsInto(nil), c.StaticsInto(nil)) {
+		t.Fatal("JSON round trip changed the feature rows")
+	}
+	if !reflect.DeepEqual(back.Names, c.Names) {
+		t.Fatalf("JSON round trip changed names: %v != %v", back.Names, c.Names)
+	}
+}
+
+func TestColumnsRoundTripBinary(t *testing.T) {
+	var c Columns
+	c.Reset()
+	for _, st := range sampleStatics(7) {
+		c.Append("", st)
+	}
+	frame := c.AppendBinary(nil)
+	var back Columns
+	if err := back.ParseBinary(frame); err != nil {
+		t.Fatalf("ParseBinary: %v", err)
+	}
+	if !reflect.DeepEqual(back.StaticsInto(nil), c.StaticsInto(nil)) {
+		t.Fatal("binary round trip changed the feature rows")
+	}
+	// Re-encoding is bit-identical.
+	if again := back.AppendBinary(nil); !bytes.Equal(again, frame) {
+		t.Fatal("binary re-encode is not bit-identical")
+	}
+	// Truncated and corrupt frames are rejected.
+	if err := back.ParseBinary(frame[:len(frame)-1]); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	bad := append([]byte("XXXX"), frame[4:]...)
+	if err := back.ParseBinary(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestColumnsValidate(t *testing.T) {
+	var c Columns
+	c.Reset()
+	if err := c.Validate(); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	c.Append("k", features.Static{})
+	c.Columns[3] = append(c.Columns[3], 0.5) // ragged column
+	if err := c.Validate(); err == nil {
+		t.Fatal("ragged columns accepted")
+	}
+	c.Reset()
+	c.Append("k", features.Static{})
+	c.Names = append(c.Names, "extra")
+	if err := c.Validate(); err == nil {
+		t.Fatal("misaligned names accepted")
+	}
+	c.Columns = c.Columns[:4]
+	if err := c.Validate(); err == nil {
+		t.Fatal("missing columns accepted")
+	}
+}
+
+func TestFrontsAppendJSONRoundTrips(t *testing.T) {
+	f := sampleFronts()
+	doc := f.AppendJSON(nil)
+	if !json.Valid(doc) {
+		t.Fatalf("AppendJSON output is not valid JSON: %s", doc)
+	}
+	var back Fronts
+	if err := json.Unmarshal(doc, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(&back, f) {
+		t.Fatalf("JSON round trip changed the response:\n got %+v\nwant %+v", &back, f)
+	}
+	// The per-kernel accessor slices the columns correctly.
+	if got := back.Kernel(0); len(got) != 3 || !got[2].MemLHeuristic {
+		t.Fatalf("Kernel(0) = %+v", got)
+	}
+	if got := back.Kernel(1); len(got) != 0 {
+		t.Fatalf("Kernel(1) = %+v, want empty", got)
+	}
+}
+
+func TestFrontsRoundTripBinary(t *testing.T) {
+	f := sampleFronts()
+	frame := f.AppendBinary(nil)
+	var back Fronts
+	if err := back.ParseBinary(frame); err != nil {
+		t.Fatalf("ParseBinary: %v", err)
+	}
+	if !reflect.DeepEqual(&back, f) {
+		t.Fatalf("binary round trip changed the response:\n got %+v\nwant %+v", &back, f)
+	}
+	if again := back.AppendBinary(nil); !bytes.Equal(again, frame) {
+		t.Fatal("binary re-encode is not bit-identical")
+	}
+	if err := back.ParseBinary(frame[:9]); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+// TestAppendAllocs pins the allocation-free encode contract: appending
+// into pre-grown buffers performs zero allocations.
+func TestAppendAllocs(t *testing.T) {
+	f := sampleFronts()
+	jsonBuf := f.AppendJSON(nil)
+	binBuf := f.AppendBinary(nil)
+	if allocs := testing.AllocsPerRun(100, func() {
+		jsonBuf = f.AppendJSON(jsonBuf[:0])
+	}); allocs != 0 {
+		t.Fatalf("AppendJSON allocates %.1f times per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		binBuf = f.AppendBinary(binBuf[:0])
+	}); allocs != 0 {
+		t.Fatalf("AppendBinary allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -13,6 +13,7 @@ func TestGodocCoverage(t *testing.T) {
 		"../adapt",
 		"../bench",
 		"../clkernel",
+		"../colproto",
 		"../core",
 		"../doccheck",
 		"../engine",

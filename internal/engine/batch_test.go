@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/features"
+)
+
+// sortPreds normalizes a prediction set into a canonical order so fronts
+// derived by different algorithms compare equal regardless of how they
+// break exact objective ties.
+func sortPreds(ps []core.Prediction) []core.Prediction {
+	out := append([]core.Prediction(nil), ps...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Speedup != b.Speedup {
+			return a.Speedup < b.Speedup
+		}
+		if a.NormEnergy != b.NormEnergy {
+			return a.NormEnergy < b.NormEnergy
+		}
+		if a.Config.Mem != b.Config.Mem {
+			return a.Config.Mem < b.Config.Mem
+		}
+		return a.Config.Core < b.Config.Core
+	})
+	return out
+}
+
+func TestPredictFrontsIntoMatchesParetoSet(t *testing.T) {
+	e, kernels := testEngine(t, 4)
+	if _, err := e.Train(context.Background(), kernels); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	p, err := e.Predictor()
+	if err != nil {
+		t.Fatalf("Predictor: %v", err)
+	}
+
+	sts := bench.AllFeatures()
+	scratch := GetBatchScratch()
+	defer PutBatchScratch(scratch)
+	fronts := p.PredictFrontsInto(scratch, sts)
+	if len(fronts) != len(sts) {
+		t.Fatalf("got %d fronts for %d kernels", len(fronts), len(sts))
+	}
+	for i, st := range sts {
+		want := p.ParetoSet(st)
+		if !reflect.DeepEqual(sortPreds(fronts[i]), sortPreds(want)) {
+			t.Errorf("kernel %d: batch front disagrees with ParetoSet:\n got %v\nwant %v", i, fronts[i], want)
+		}
+		if last := fronts[i][len(fronts[i])-1]; !last.MemLHeuristic {
+			t.Errorf("kernel %d: last prediction %+v is not the mem-L heuristic", i, last)
+		}
+	}
+
+	// Reusing the scratch for a different batch must not corrupt results.
+	again := p.PredictFrontsInto(scratch, sts[:4])
+	for i := range again {
+		want := p.ParetoSet(sts[i])
+		if !reflect.DeepEqual(sortPreds(again[i]), sortPreds(want)) {
+			t.Errorf("reuse kernel %d: batch front disagrees with ParetoSet", i)
+		}
+	}
+}
+
+func TestFrontInPlaceMatchesParetoFront(t *testing.T) {
+	cases := [][]core.Prediction{
+		{},
+		{{Speedup: 1, NormEnergy: 1}},
+		// Strictly improving chain: everything is on the front.
+		{{Speedup: 1, NormEnergy: 0.5}, {Speedup: 2, NormEnergy: 0.8}, {Speedup: 3, NormEnergy: 1.2}},
+		// A dominated middle point.
+		{{Speedup: 1, NormEnergy: 0.5}, {Speedup: 0.9, NormEnergy: 0.9}, {Speedup: 2, NormEnergy: 1.0}},
+		// Equal-speedup group: only the minimal-energy member survives.
+		{{Speedup: 1, NormEnergy: 0.7}, {Speedup: 1, NormEnergy: 0.5}, {Speedup: 1, NormEnergy: 0.6}},
+		// Exact duplicates in both objectives are all front members.
+		{{Speedup: 2, NormEnergy: 0.5}, {Speedup: 2, NormEnergy: 0.5}, {Speedup: 1, NormEnergy: 0.9}},
+		// Duplicates that are dominated stay out.
+		{{Speedup: 1, NormEnergy: 0.9}, {Speedup: 1, NormEnergy: 0.9}, {Speedup: 2, NormEnergy: 0.5}},
+	}
+	for ci, preds := range cases {
+		want := core.ParetoFront(preds)
+		got := append([]core.Prediction(nil), preds...)
+		m := frontInPlace(got)
+		if !reflect.DeepEqual(sortPreds(got[:m]), sortPreds(want)) {
+			t.Errorf("case %d: frontInPlace = %v, want %v", ci, got[:m], want)
+		}
+	}
+}
+
+// TestPredictFrontsIntoAllocs pins the zero-allocation contract of the
+// steady-state batch path: once the scratch has grown to the batch size,
+// a sub-threshold batch performs no allocations at all.
+func TestPredictFrontsIntoAllocs(t *testing.T) {
+	e, kernels := testEngine(t, 4)
+	if _, err := e.Train(context.Background(), kernels); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	p, err := e.Predictor()
+	if err != nil {
+		t.Fatalf("Predictor: %v", err)
+	}
+	sts := bench.AllFeatures()[:1]
+	if rows := len(sts) * (len(p.modeledConfigs()) + 1); rows >= 256 {
+		t.Skipf("batch of %d rows exceeds the sequential threshold", rows)
+	}
+	scratch := GetBatchScratch()
+	defer PutBatchScratch(scratch)
+	p.PredictFrontsInto(scratch, sts) // grow the scratch
+
+	var sink [][]core.Prediction
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = p.PredictFrontsInto(scratch, sts)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state batch path allocates %.1f times per run, want 0", allocs)
+	}
+	_ = sink
+	_ = features.Dim
+}

@@ -20,6 +20,14 @@ type Predictor struct {
 	workers int
 	cache   *predCache // nil when caching is disabled
 
+	// Ladder-derived constants, computed once at construction so the hot
+	// paths never rebuild them: the modeled configuration list (all memory
+	// clocks but mem-L × their core clocks) and the mem-L heuristic
+	// configuration. The ladder is immutable for the predictor's lifetime.
+	cfgs    []freq.Config
+	memLCfg freq.Config
+	hasMemL bool
+
 	hits   atomic.Uint64
 	misses atomic.Uint64
 }
@@ -34,6 +42,12 @@ func NewPredictor(m *core.Models, ladder *freq.Ladder, opts Options) *Predictor 
 	if opts.CacheSize > 0 {
 		p.cache = newPredCache(opts.CacheSize)
 	}
+	for _, mem := range p.inner.ModeledMems() {
+		for _, c := range p.inner.Ladder.CoreClocks(mem) {
+			p.cfgs = append(p.cfgs, freq.Config{Mem: mem, Core: c})
+		}
+	}
+	p.memLCfg, p.hasMemL = core.MemLHeuristicConfig(p.inner.Ladder)
 	return p
 }
 
@@ -118,17 +132,9 @@ func (p *Predictor) predictConfigs(st features.Static, cfgs []freq.Config) []cor
 	return out
 }
 
-// modeledConfigs lists every supported configuration of the modeled memory
-// clocks (all but mem-L).
-func (p *Predictor) modeledConfigs() []freq.Config {
-	var cfgs []freq.Config
-	for _, m := range p.inner.ModeledMems() {
-		for _, c := range p.inner.Ladder.CoreClocks(m) {
-			cfgs = append(cfgs, freq.Config{Mem: m, Core: c})
-		}
-	}
-	return cfgs
-}
+// modeledConfigs returns the cached list of every supported configuration
+// of the modeled memory clocks (all but mem-L). Callers must not mutate it.
+func (p *Predictor) modeledConfigs() []freq.Config { return p.cfgs }
 
 // PredictAll predicts both objectives at every supported configuration of
 // the given memory clocks (nil = the modeled clocks: all but mem-L),
@@ -149,11 +155,10 @@ func (p *Predictor) PredictAll(st features.Static, mems []freq.MHz) []core.Predi
 
 // memLHeuristic is the cached-path version of core.Predictor.MemLHeuristic.
 func (p *Predictor) memLHeuristic(st features.Static) (core.Prediction, bool) {
-	cfg, ok := core.MemLHeuristicConfig(p.inner.Ladder)
-	if !ok {
+	if !p.hasMemL {
 		return core.Prediction{}, false
 	}
-	pr := p.PredictConfig(st, cfg)
+	pr := p.PredictConfig(st, p.memLCfg)
 	pr.MemLHeuristic = true
 	return pr, true
 }

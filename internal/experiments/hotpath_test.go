@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHotPathReport smoke-tests the serve-hot-path table on the shared
+// small suite: every layer is present, costs are positive, and the
+// publish-time front table beats the live decision paths.
+func TestHotPathReport(t *testing.T) {
+	s := suite(t)
+	rep, err := s.HotPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kernels != 106 || rep.Configs == 0 {
+		t.Fatalf("unexpected shape: %d kernels, %d configs", rep.Kernels, rep.Configs)
+	}
+	want := []string{"front table", "sweep LRU", "warm config LRU", "per-kernel sweep", "columnar batch"}
+	if len(rep.Rows) != len(want) {
+		t.Fatalf("%d rows, want %d", len(rep.Rows), len(want))
+	}
+	byLayer := map[string]HotPathRow{}
+	for i, row := range rep.Rows {
+		if row.Layer != want[i] {
+			t.Fatalf("row %d is %q, want %q", i, row.Layer, want[i])
+		}
+		if row.NsPerKernel <= 0 || row.KernelsPerSec <= 0 {
+			t.Fatalf("row %q has non-positive cost: %+v", row.Layer, row)
+		}
+		byLayer[row.Layer] = row
+	}
+	// The front table must be cheaper than every path that still sweeps.
+	for _, layer := range []string{"warm config LRU", "per-kernel sweep", "columnar batch"} {
+		if byLayer["front table"].NsPerKernel >= byLayer[layer].NsPerKernel {
+			t.Errorf("front table (%.0f ns) not cheaper than %s (%.0f ns)",
+				byLayer["front table"].NsPerKernel, layer, byLayer[layer].NsPerKernel)
+		}
+	}
+	// The columnar batch must beat the row-at-a-time uncached sweep.
+	if byLayer["columnar batch"].NsPerKernel >= byLayer["per-kernel sweep"].NsPerKernel {
+		t.Errorf("columnar batch (%.0f ns/kernel) not cheaper than per-kernel sweep (%.0f ns/kernel)",
+			byLayer["columnar batch"].NsPerKernel, byLayer["per-kernel sweep"].NsPerKernel)
+	}
+
+	var b strings.Builder
+	RenderHotPath(&b, rep)
+	out := b.String()
+	for _, wantStr := range []string{"Serve hot path", "front table", "columnar batch", "kernels/s"} {
+		if !strings.Contains(out, wantStr) {
+			t.Errorf("rendered report missing %q:\n%s", wantStr, out)
+		}
+	}
+}

@@ -27,7 +27,7 @@ var (
 
 // trainedGovernor wraps the device's shared small-trained predictor in a
 // fresh governor.
-func trainedGovernor(t *testing.T, dev *gpu.Device, cacheSize int) *Governor {
+func trainedGovernor(t testing.TB, dev *gpu.Device, cacheSize int) *Governor {
 	t.Helper()
 	key := "titanx"
 	if len(dev.Ladder.MemClocks()) == 1 {

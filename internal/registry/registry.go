@@ -156,12 +156,20 @@ type Manifest struct {
 	EnergyModel  ModelInfo `json:"energy_model"`
 	// Schema pins the feature representation the models expect.
 	Schema Schema `json:"schema"`
+	// Fronts summarizes the precomputed per-kernel Pareto fronts, when the
+	// snapshot carries them; nil for snapshots published without fronts,
+	// which load and serve unchanged (the governor falls back to live
+	// sweeps).
+	Fronts *FrontsInfo `json:"fronts,omitempty"`
 }
 
-// snapshotFile is the on-disk document: manifest plus the raw models JSON.
+// snapshotFile is the on-disk document: manifest, the raw models JSON,
+// and (for snapshots published with precomputed fronts) the raw fronts
+// table.
 type snapshotFile struct {
 	Manifest Manifest        `json:"manifest"`
 	Models   json.RawMessage `json:"models"`
+	Fronts   json.RawMessage `json:"fronts,omitempty"`
 }
 
 // ActiveState is a device's activation pointer: which version serving
@@ -334,7 +342,19 @@ func (s *Store) Reserve(device string) (string, error) {
 // a temporary file in the device directory, synced, then renamed into
 // place, so readers and crash recovery only ever see complete snapshots.
 // Save never activates — call Activate to point serving at the version.
+// Snapshots published by Save carry no precomputed fronts; publishers on
+// the serving path use SaveWithFronts.
 func (s *Store) Save(device, version string, m *core.Models, tr Training) (Manifest, error) {
+	return s.SaveWithFronts(device, version, m, tr, nil)
+}
+
+// SaveWithFronts is Save plus a publish-time front table: the per-kernel
+// ladder sweeps and Pareto sets computed from the model set being
+// published (ComputeFronts). The table is serialized into the snapshot
+// document and summarized in the manifest with its own content hash, so
+// load verifies it exactly like the models. A nil table publishes the
+// pre-fronts document layout byte-identically to Save.
+func (s *Store) SaveWithFronts(device, version string, m *core.Models, tr Training, fronts *Fronts) (Manifest, error) {
 	if version == "" {
 		var err error
 		if version, err = s.Reserve(device); err != nil {
@@ -367,7 +387,16 @@ func (s *Store) Save(device, version string, m *core.Models, tr Training) (Manif
 		},
 		Schema: CurrentSchema(),
 	}
-	doc, err := json.MarshalIndent(snapshotFile{Manifest: man, Models: models.Bytes()}, "", "  ")
+	var frontsRaw json.RawMessage
+	if fronts != nil {
+		doc, fhash, err := encodeFronts(fronts)
+		if err != nil {
+			return Manifest{}, err
+		}
+		frontsRaw = doc
+		man.Fronts = &FrontsInfo{Kernels: len(fronts.Kernels), Hash: fhash}
+	}
+	doc, err := json.MarshalIndent(snapshotFile{Manifest: man, Models: models.Bytes(), Fronts: frontsRaw}, "", "  ")
 	if err != nil {
 		return Manifest{}, fmt.Errorf("registry: encoding snapshot: %w", err)
 	}
@@ -467,6 +496,9 @@ func decode(device, version string, doc []byte) (snapshotFile, error) {
 		return sf, fmt.Errorf("%w: %s/%s: content hash mismatch (manifest %.8s…, computed %.8s…)",
 			ErrCorrupt, device, version, sf.Manifest.Hash, hash)
 	}
+	if _, err := decodeFronts(device, version, sf.Fronts, sf.Manifest.Fronts); err != nil {
+		return sf, err
+	}
 	return sf, nil
 }
 
@@ -477,30 +509,65 @@ func decode(device, version string, doc []byte) (snapshotFile, error) {
 // ErrCorrupt; snapshots recorded under a different feature schema are
 // rejected as incompatible.
 func (s *Store) Load(device, version string) (*core.Models, Manifest, error) {
+	m, _, man, err := s.LoadFull(device, version)
+	return m, man, err
+}
+
+// LoadFull is Load plus the snapshot's precomputed front table. The table
+// is nil for snapshots published without fronts (the pre-fronts format),
+// which remain fully loadable — callers fall back to live sweeps.
+func (s *Store) LoadFull(device, version string) (*core.Models, *Fronts, Manifest, error) {
 	if version == "" {
 		st, ok := s.ActiveState(device)
 		if !ok {
-			return nil, Manifest{}, fmt.Errorf("%w: %s has no active version", ErrNoSnapshot, device)
+			return nil, nil, Manifest{}, fmt.Errorf("%w: %s has no active version", ErrNoSnapshot, device)
 		}
 		version = st.Version
 	}
 	doc, err := s.readDoc(device, version)
 	if err != nil {
-		return nil, Manifest{}, err
+		return nil, nil, Manifest{}, err
 	}
 	sf, err := decode(device, version, doc)
 	if err != nil {
-		return nil, Manifest{}, err
+		return nil, nil, Manifest{}, err
 	}
 	if !sf.Manifest.Schema.equal(CurrentSchema()) {
-		return nil, Manifest{}, fmt.Errorf("registry: %s/%s: snapshot feature schema is incompatible with this binary",
+		return nil, nil, Manifest{}, fmt.Errorf("registry: %s/%s: snapshot feature schema is incompatible with this binary",
 			device, version)
 	}
 	m, err := core.Load(bytes.NewReader(sf.Models))
 	if err != nil {
-		return nil, Manifest{}, fmt.Errorf("%w: %s/%s: %v", ErrCorrupt, device, version, err)
+		return nil, nil, Manifest{}, fmt.Errorf("%w: %s/%s: %v", ErrCorrupt, device, version, err)
 	}
-	return m, sf.Manifest, nil
+	fronts, err := decodeFronts(device, version, sf.Fronts, sf.Manifest.Fronts)
+	if err != nil {
+		return nil, nil, Manifest{}, err
+	}
+	return m, fronts, sf.Manifest, nil
+}
+
+// LoadFronts reads, integrity-checks, and returns only the snapshot's
+// precomputed front table (nil for pre-fronts snapshots). An empty version
+// loads the device's active snapshot. Activation paths use it to hydrate
+// the governor without re-deserializing the models they already hold.
+func (s *Store) LoadFronts(device, version string) (*Fronts, error) {
+	if version == "" {
+		st, ok := s.ActiveState(device)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s has no active version", ErrNoSnapshot, device)
+		}
+		version = st.Version
+	}
+	doc, err := s.readDoc(device, version)
+	if err != nil {
+		return nil, err
+	}
+	sf, err := decode(device, version, doc)
+	if err != nil {
+		return nil, err
+	}
+	return decodeFronts(device, version, sf.Fronts, sf.Manifest.Fronts)
 }
 
 // GetManifest reads and integrity-checks one snapshot's manifest. Verified

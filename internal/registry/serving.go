@@ -52,9 +52,18 @@ func NewServing() *Serving {
 // predictor is published together with a fresh governor built over it
 // (decisions cached against the old models must not outlive them).
 // In-flight requests holding the previous triple finish against it safely;
-// new requests see the new one.
+// new requests see the new one. The governor carries no front table; the
+// serving path uses InstallWithFronts.
 func (s *Serving) Install(version string, pred *engine.Predictor) {
-	gov := policy.NewGovernor(pred, 0)
+	s.InstallWithFronts(version, pred, nil)
+}
+
+// InstallWithFronts is Install with the snapshot's publish-time front
+// table: the fresh governor resolves kernels in the table with zero SVR
+// evaluations and falls back to live sweeps for the rest. A nil table
+// behaves exactly like Install.
+func (s *Serving) InstallWithFronts(version string, pred *engine.Predictor, fronts *Fronts) {
+	gov := policy.NewGovernorWithFronts(pred, 0, fronts.Map())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.retire()
