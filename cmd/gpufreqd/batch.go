@@ -19,6 +19,15 @@ import (
 // JSON framing. The response mirrors the request's framing.
 const binaryContentType = "application/x-gpufreq-columns"
 
+// maxBatchBodyBytes bounds a /predict/batch request body. 8 MiB fits a
+// ~100k-kernel binary batch (10 float64 columns ≈ 80 B/kernel) — far past
+// any sane request — while keeping the unauthenticated read plane from
+// being a memory-exhaustion vector: the claimed Content-Length is never
+// trusted for preallocation beyond this, oversized bodies are cut off by
+// http.MaxBytesReader, and buffers that grew past the cap are dropped
+// instead of pooled.
+const maxBatchBodyBytes = 8 << 20
+
 // batchBuffers is one request's worth of reusable batch-path memory:
 // the raw body, the decoded columnar request, the transposed feature rows,
 // the columnar response, and the encoded output. Recycled through
@@ -35,11 +44,23 @@ type batchBuffers struct {
 
 var batchBufPool = sync.Pool{New: func() any { return new(batchBuffers) }}
 
+// putBatchBuffers returns a buffer set to the pool unless a pathological
+// request grew its byte buffers past the body cap — those are dropped so
+// one oversized request cannot permanently bloat the pool.
+func putBatchBuffers(bb *batchBuffers) {
+	if cap(bb.body) > maxBatchBodyBytes || cap(bb.out) > maxBatchBodyBytes {
+		return
+	}
+	batchBufPool.Put(bb)
+}
+
 // readBody reads the request body into the reusable buffer, growing it as
-// needed (io.ReadAll would allocate a fresh slice per request).
+// needed (io.ReadAll would allocate a fresh slice per request). The
+// Content-Length-driven preallocation is capped at maxBatchBodyBytes: the
+// header is client-controlled and must not force an arbitrary allocation.
 func (bb *batchBuffers) readBody(r *http.Request) error {
 	bb.body = bb.body[:0]
-	if n := r.ContentLength; n > 0 && int64(cap(bb.body)) < n {
+	if n := r.ContentLength; n > 0 && n <= maxBatchBodyBytes && int64(cap(bb.body)) < n {
 		bb.body = make([]byte, 0, n)
 	}
 	for {
@@ -83,8 +104,15 @@ func (s *server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	bb := batchBufPool.Get().(*batchBuffers)
-	defer batchBufPool.Put(bb)
+	defer putBatchBuffers(bb)
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)
 	if err := bb.readBody(r); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body over %d bytes", int64(maxBatchBodyBytes))
+			return
+		}
 		writeError(w, http.StatusBadRequest, "reading request body: %v", err)
 		return
 	}

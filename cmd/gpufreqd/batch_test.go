@@ -310,3 +310,67 @@ func TestSelectServesPublishedFrontZeroSVR(t *testing.T) {
 		t.Fatal("live-sweep fallback never touched the predictor")
 	}
 }
+
+// TestPredictBatchPoolReuseAfterBadJSON is the pooled-state regression:
+// a JSON request with the wrong column count is rejected with 400 but
+// its buffers go back to the pool, and the next binary request — which
+// almost certainly draws the same buffers — must still parse and serve
+// rather than panic on the short column slice.
+func TestPredictBatchPoolReuseAfterBadJSON(t *testing.T) {
+	s := testServer(t)
+	trainWait(t, s, "{}")
+
+	for i := 0; i < 3; i++ {
+		if rec := post(t, s, "/predict/batch", `{"columns":[[1],[2]]}`); rec.Code != http.StatusBadRequest {
+			t.Fatalf("wrong-count JSON status %d, want 400: %s", rec.Code, rec.Body)
+		}
+		frame := batchColumns(2).AppendBinary(nil)
+		req := httptest.NewRequest(http.MethodPost, "/predict/batch", bytes.NewReader(frame))
+		req.Header.Set("Content-Type", binaryContentType)
+		rec := httptest.NewRecorder()
+		s.mux.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("binary request after bad JSON: status %d, want 200: %s", rec.Code, rec.Body)
+		}
+		var fronts colproto.Fronts
+		if err := fronts.ParseBinary(rec.Body.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		if fronts.Count != 2 {
+			t.Fatalf("binary response has %d kernels, want 2", fronts.Count)
+		}
+	}
+}
+
+// TestPredictBatchBodyCap pins the request-size bound of the
+// unauthenticated batch endpoint: a body over maxBatchBodyBytes is cut
+// off with 413, and a request merely *claiming* a huge Content-Length
+// cannot force a matching allocation.
+func TestPredictBatchBodyCap(t *testing.T) {
+	s := testServer(t)
+	trainWait(t, s, "{}")
+
+	big := bytes.Repeat([]byte("x"), maxBatchBodyBytes+1)
+	req := httptest.NewRequest(http.MethodPost, "/predict/batch", bytes.NewReader(big))
+	rec := httptest.NewRecorder()
+	s.mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status %d, want 413: %s", rec.Code, rec.Body)
+	}
+
+	// A huge claimed Content-Length with no body must not preallocate:
+	// the request fails fast as an empty body, and the pool keeps only
+	// modest buffers.
+	req = httptest.NewRequest(http.MethodPost, "/predict/batch", bytes.NewReader(nil))
+	req.ContentLength = 1 << 40
+	rec = httptest.NewRecorder()
+	s.mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("claimed-huge empty body status %d, want 400: %s", rec.Code, rec.Body)
+	}
+	bb := batchBufPool.Get().(*batchBuffers)
+	defer batchBufPool.Put(bb)
+	if cap(bb.body) > maxBatchBodyBytes {
+		t.Fatalf("pooled body buffer is %d bytes — an oversized buffer was pooled", cap(bb.body))
+	}
+}

@@ -51,12 +51,12 @@
 // old model and hot-swap to the new version when it is published.
 //
 // Handlers are split into a read plane (/predict, /predict/batch,
-// /select, /policies, /healthz) and a control plane (/train, /models*,
-// /observe, /adapt/*) with independent in-flight limits
-// (-read-concurrency, -control-concurrency; 0 = default, negative =
-// unlimited). A saturated plane sheds immediately with 503 and
-// Retry-After: 1 instead of queueing; per-plane shed counters appear in
-// GET /healthz.
+// /select, /policies) and a control plane (/train, /models*, /observe,
+// /adapt/*) with independent in-flight limits (-read-concurrency,
+// -control-concurrency; 0 = default, negative = unlimited). A saturated
+// plane sheds immediately with 503 and Retry-After: 1 instead of queueing;
+// per-plane shed counters appear in GET /healthz, which itself sits
+// outside both limiters so liveness probes survive saturation.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests.
@@ -104,7 +104,7 @@ func main() {
 	adaptCapacity := flag.Int("adapt-capacity", 0, "observation store bound in samples (0 = default 1024)")
 	adaptRetrainEvery := flag.Int("adapt-retrain-every", 0, "retrain after this many observations regardless of drift (0 = disabled)")
 	adaptMaxAge := flag.Duration("adapt-max-age", 0, "retrain when the active snapshot is older than this (0 = disabled)")
-	readConcurrency := flag.Int("read-concurrency", 0, "max in-flight read-plane requests: predict/select/healthz/policies (0 = default 64, negative = unlimited)")
+	readConcurrency := flag.Int("read-concurrency", 0, "max in-flight read-plane requests: predict/select/policies (0 = default 64, negative = unlimited)")
 	controlConcurrency := flag.Int("control-concurrency", 0, "max in-flight control-plane requests: train/models/observe/adapt (0 = default 16, negative = unlimited)")
 	flag.Parse()
 
@@ -276,10 +276,13 @@ func newServerLimits(e *engine.Engine, store *registry.Store, device string, acf
 				engine.TrainingKernels())
 		},
 	})
+	// /healthz sits outside both limiters: orchestrator liveness probes
+	// must keep answering while a plane sheds load, or a busy-but-healthy
+	// instance gets restarted exactly during a spike.
+	s.handle("/healthz", s.handleHealthz)
 	// Read plane: the serving hot path. Sheds independently of the control
 	// plane, so a management burst can never queue behind predictions or
 	// vice versa.
-	s.handleRead("/healthz", s.handleHealthz)
 	s.handleRead("/predict", s.handlePredict)
 	s.handleRead("/predict/batch", s.handlePredictBatch)
 	s.handleRead("/select", s.handleSelect)

@@ -14,9 +14,10 @@ const (
 )
 
 // planeLimits configures the per-plane admission control: maximum in-flight
-// requests for the read plane (predict/select/healthz/policies) and the
-// control plane (train/models/observe/adapt). 0 selects the defaults;
-// negative disables the limit.
+// requests for the read plane (predict/select/policies) and the control
+// plane (train/models/observe/adapt). /healthz is outside both, so
+// liveness probes survive saturation. 0 selects the defaults; negative
+// disables the limit.
 type planeLimits struct {
 	Read    int
 	Control int

@@ -144,3 +144,46 @@ func TestHealthzDefaultPlaneLimits(t *testing.T) {
 			hr.Planes, defaultReadConcurrency, defaultControlConcurrency)
 	}
 }
+
+// TestHealthzSurvivesReadSaturation pins that /healthz sits outside the
+// plane limiters: with every read-plane slot taken, liveness probes keep
+// answering 200 (an orchestrator must not restart a busy-but-healthy
+// instance) while read-plane routes shed.
+func TestHealthzSurvivesReadSaturation(t *testing.T) {
+	store, err := registry.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServerLimits(engine.NewDefault(engine.Options{
+		Workers: 2,
+		Core:    core.Options{SettingsPerKernel: 4},
+	}), store, "titanx", adapt.Config{}, planeLimits{Read: 2, Control: 2})
+
+	for i := 0; i < cap(s.read.sem); i++ {
+		s.read.sem <- struct{}{}
+	}
+	defer func() {
+		for i := 0; i < cap(s.read.sem); i++ {
+			<-s.read.sem
+		}
+	}()
+
+	if rec := get(t, s, "/policies"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated read plane served /policies: %d", rec.Code)
+	}
+	rec := get(t, s, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz shed under read saturation: %d: %s", rec.Code, rec.Body)
+	}
+	var hr struct {
+		Planes struct {
+			Read planeInfo `json:"read"`
+		} `json:"planes"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Planes.Read.Shed != 1 {
+		t.Fatalf("read shed counter = %d, want 1", hr.Planes.Read.Shed)
+	}
+}

@@ -50,9 +50,13 @@ type Columns struct {
 }
 
 // Reset empties the request in place, keeping column capacity for reuse.
+// The outer slice is rebuilt whenever its length is not features.StaticDim:
+// a pooled Columns may come back from a rejected JSON request that
+// unmarshaled the wrong column count into it, and every reuse path
+// (ParseBinary, Append) indexes all StaticDim columns unconditionally.
 func (c *Columns) Reset() {
 	c.Names = c.Names[:0]
-	if c.Columns == nil {
+	if len(c.Columns) != features.StaticDim {
 		c.Columns = make([][]float64, features.StaticDim)
 	}
 	for i := range c.Columns {
@@ -63,7 +67,7 @@ func (c *Columns) Reset() {
 // Append adds one kernel to the request, transposing its static feature
 // vector into the columns.
 func (c *Columns) Append(name string, st features.Static) {
-	if c.Columns == nil {
+	if len(c.Columns) != features.StaticDim {
 		c.Columns = make([][]float64, features.StaticDim)
 	}
 	c.Names = append(c.Names, name)
@@ -230,7 +234,8 @@ func (f *Fronts) Kernel(i int) []core.Prediction {
 // an equal Fronts via encoding/json (pinned by the package tests); float
 // formatting is strconv's shortest round-trip form, which can differ
 // textually from encoding/json's for extreme exponents while decoding to
-// the same value.
+// the same value. Non-finite floats are encoded as null (see
+// appendFloatArray) rather than producing invalid JSON.
 func (f *Fronts) AppendJSON(dst []byte) []byte {
 	dst = append(dst, `{"version":`...)
 	dst = strconv.AppendQuote(dst, f.Version)
@@ -354,7 +359,11 @@ func appendIntArray(dst []byte, vs []int) []byte {
 }
 
 // appendFloatArray appends a JSON array of floats in encoding/json's
-// shortest round-trip format.
+// shortest round-trip format. NaN and ±Inf have no JSON representation
+// (strconv would emit literals no JSON parser accepts), so non-finite
+// values become null — the document stays parseable even if a model ever
+// produces a non-finite prediction; encoding/json decodes the null back
+// as 0.
 func appendFloatArray(dst []byte, vs []float64) []byte {
 	if vs == nil {
 		return append(dst, "null"...)
@@ -363,6 +372,10 @@ func appendFloatArray(dst []byte, vs []float64) []byte {
 	for i, v := range vs {
 		if i > 0 {
 			dst = append(dst, ',')
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			dst = append(dst, "null"...)
+			continue
 		}
 		dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
 	}

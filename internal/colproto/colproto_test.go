@@ -3,6 +3,7 @@ package colproto
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"reflect"
 	"testing"
 
@@ -166,5 +167,66 @@ func TestAppendAllocs(t *testing.T) {
 		binBuf = f.AppendBinary(binBuf[:0])
 	}); allocs != 0 {
 		t.Fatalf("AppendBinary allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestResetRepairsWrongColumnCount is the pooled-reuse regression: a
+// Columns that a rejected JSON request left with the wrong number of
+// columns must be rebuilt by Reset, so the next binary parse on the same
+// value neither panics (too few columns) nor fails Validate (too many).
+func TestResetRepairsWrongColumnCount(t *testing.T) {
+	var want Columns
+	want.Reset()
+	for _, st := range sampleStatics(2) {
+		want.Append("", st)
+	}
+	frame := want.AppendBinary(nil)
+
+	for _, bad := range []string{
+		`{"columns":[[1],[2]]}`, // fewer columns than StaticDim
+		`{"columns":[[1],[1],[1],[1],[1],[1],[1],[1],[1],[1],[1],[1]]}`, // more
+	} {
+		var c Columns
+		if err := json.Unmarshal([]byte(bad), &c); err != nil {
+			t.Fatal(err)
+		}
+		if c.Validate() == nil {
+			t.Fatalf("wrong-count request %s validated", bad)
+		}
+		if err := c.ParseBinary(frame); err != nil {
+			t.Fatalf("binary parse after reusing %s: %v", bad, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("reused request invalid after %s: %v", bad, err)
+		}
+		if !reflect.DeepEqual(c.Columns, want.Columns) {
+			t.Fatalf("reused parse after %s decoded wrong columns:\n got %v\nwant %v",
+				bad, c.Columns, want.Columns)
+		}
+	}
+}
+
+// TestAppendJSONNonFinite pins that non-finite predictions still encode
+// to valid JSON: NaN/±Inf become null (decoded back as 0 by
+// encoding/json) instead of bare literals no parser accepts.
+func TestAppendJSONNonFinite(t *testing.T) {
+	f := &Fronts{Version: "v1"}
+	f.AppendFront([]core.Prediction{
+		{Config: freq.Config{Mem: 810, Core: 405}, Speedup: math.NaN(), NormEnergy: math.Inf(1)},
+		{Config: freq.Config{Mem: 810, Core: 595}, Speedup: 0.5, NormEnergy: math.Inf(-1)},
+	})
+	doc := f.AppendJSON(nil)
+	if !json.Valid(doc) {
+		t.Fatalf("non-finite AppendJSON output is not valid JSON: %s", doc)
+	}
+	var back Fronts
+	if err := json.Unmarshal(doc, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.Speedup[0] != 0 || back.Energy[0] != 0 || back.Energy[1] != 0 {
+		t.Fatalf("non-finite values did not decode as 0: %+v", back)
+	}
+	if back.Speedup[1] != 0.5 {
+		t.Fatalf("finite neighbor corrupted: %+v", back)
 	}
 }
