@@ -1,0 +1,83 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// cmdFleet dispatches the fleet subcommands against a running gpufreqd
+// control plane: `gpufreq fleet nodes` prints the node directory with
+// sync verdicts, `gpufreq fleet push` re-fans-out every device's active
+// snapshot to its stale nodes.
+func cmdFleet(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: gpufreq fleet <nodes|push> [-addr URL]")
+	}
+	switch args[0] {
+	case "nodes":
+		return cmdFleetNodes(args[1:])
+	case "push":
+		return cmdFleetPush(args[1:])
+	default:
+		return fmt.Errorf("unknown fleet subcommand %q; valid: nodes, push", args[0])
+	}
+}
+
+// cmdFleetNodes prints the control plane's node directory.
+func cmdFleetNodes(args []string) error {
+	fs := flag.NewFlagSet("fleet nodes", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "control plane base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var resp fleet.NodesResponse
+	if err := getJSON(*addr, "/fleet/nodes", &resp); err != nil {
+		return err
+	}
+	if len(resp.Nodes) == 0 {
+		fmt.Println("no registered nodes")
+		return nil
+	}
+	fmt.Printf("%-12s %-8s %-8s %-6s %10s  %-20s %s\n",
+		"node", "device", "version", "synced", "hash", "last seen", "addr")
+	for _, n := range resp.Nodes {
+		last := ""
+		if !n.LastSeen.IsZero() {
+			last = n.LastSeen.Format("2006-01-02 15:04:05")
+		}
+		fmt.Printf("%-12s %-8s %-8s %-6v %10.8s…  %-20s %s\n",
+			n.Node, n.Device, orNone(n.Version), n.Synced, n.Hash, last, n.Addr)
+		if n.PushErrors > 0 {
+			fmt.Printf("%-12s   %d/%d pushes failed; last error: %s\n",
+				"", n.PushErrors, n.Pushes, n.LastError)
+		}
+	}
+	return nil
+}
+
+// cmdFleetPush triggers a fleet-wide re-fan-out and prints the round.
+func cmdFleetPush(args []string) error {
+	fs := flag.NewFlagSet("fleet push", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "control plane base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	start := time.Now()
+	var report fleet.PushReport
+	if err := postJSON(*addr, "/fleet/push", struct{}{}, &report); err != nil {
+		return err
+	}
+	fmt.Printf("pushed to %d/%d stale nodes in %s\n",
+		report.Pushed, report.Targets, time.Since(start).Round(time.Millisecond))
+	for _, e := range report.Errors {
+		fmt.Fprintf(os.Stderr, "  push error: %s\n", e)
+	}
+	if len(report.Errors) > 0 {
+		return fmt.Errorf("%d push(es) failed; stale nodes converge on their next heartbeat", len(report.Errors))
+	}
+	return nil
+}

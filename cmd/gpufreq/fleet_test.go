@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// fakeControl serves canned fleet control-plane endpoints for CLI tests.
+func fakeControl(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet/nodes", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(fleet.NodesResponse{Nodes: []fleet.NodeInfo{
+			{
+				Node: "n1", Device: "titanx", Addr: "http://10.0.0.12:8080",
+				Version: "v0003", Hash: "02ec002556ad966c", Synced: true,
+				LastSeen: time.Now().UTC(), Pushes: 2,
+			},
+			{
+				Node: "n2", Device: "p100", Addr: "http://10.0.0.13:8080",
+				Synced: false, Pushes: 3, PushErrors: 1, LastError: "connection refused",
+			},
+		}})
+	})
+	mux.HandleFunc("/fleet/push", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			return
+		}
+		json.NewEncoder(w).Encode(fleet.PushReport{Targets: 2, Pushed: 2})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{"error": "no such endpoint"})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestCmdFleetNodes(t *testing.T) {
+	ts := fakeControl(t)
+	if err := cmdFleet([]string{"nodes", "-addr", ts.URL}); err != nil {
+		t.Fatalf("fleet nodes: %v", err)
+	}
+}
+
+func TestCmdFleetPush(t *testing.T) {
+	ts := fakeControl(t)
+	if err := cmdFleet([]string{"push", "-addr", ts.URL}); err != nil {
+		t.Fatalf("fleet push: %v", err)
+	}
+}
+
+func TestCmdFleetPushSurfacesFailures(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet/push", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(fleet.PushReport{
+			Targets: 2, Pushed: 1, Errors: []string{"n2: connection refused"},
+		})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	err := cmdFleet([]string{"push", "-addr", ts.URL})
+	if err == nil || !strings.Contains(err.Error(), "1 push(es) failed") {
+		t.Fatalf("err = %v, want the failed pushes surfaced", err)
+	}
+}
+
+func TestCmdFleetUsage(t *testing.T) {
+	if err := cmdFleet(nil); err == nil {
+		t.Error("fleet without a subcommand should fail")
+	}
+	if err := cmdFleet([]string{"bogus"}); err == nil || !strings.Contains(err.Error(), "unknown fleet subcommand") {
+		t.Errorf("err = %v, want an unknown-subcommand failure", err)
+	}
+}

@@ -23,6 +23,12 @@
 //	gpufreq observe [-addr http://localhost:8080] -mem 3505 -core 1000
 //	                -speedup 0.97 -energy 0.93 [-kernel name] <kernel.cl>
 //	gpufreq adapt [-addr http://localhost:8080] [-retrain]
+//	gpufreq fleet nodes [-addr http://localhost:8080]
+//	gpufreq fleet push [-addr http://localhost:8080]
+//
+// fleet talks to a gpufreqd running as the fleet control plane: nodes
+// prints the registered node directory with per-node sync verdicts, and
+// push re-fans-out every device's active snapshot to its stale nodes.
 //
 // observe and adapt talk to a running gpufreqd: observe reports a measured
 // (kernel, configuration, speedup/energy) sample into the daemon's
@@ -94,6 +100,8 @@ func main() {
 		err = cmdObserve(os.Args[2:])
 	case "adapt":
 		err = cmdAdapt(os.Args[2:])
+	case "fleet":
+		err = cmdFleet(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -123,6 +131,7 @@ Commands:
   characterize  measure a built-in test benchmark across all configurations
   observe       report a measured sample to a running gpufreqd's adaptation loop
   adapt         show (or trigger) a running gpufreqd's adaptation loop
+  fleet         inspect or re-sync a control plane's fleet (nodes, push)
 
 Flags come before the positional argument, e.g.:
   gpufreq predict -model models.json kernel.cl

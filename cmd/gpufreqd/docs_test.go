@@ -21,6 +21,16 @@ func docsServer(t *testing.T) *server {
 	return newServer(engine.NewDefault(engine.Options{}), store, "titanx", adapt.Config{})
 }
 
+// agentDocsServer builds an -agent mode server for route introspection.
+func agentDocsServer(t *testing.T) *server {
+	t.Helper()
+	store, err := registry.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newAgentServer(engine.NewDefault(engine.Options{}), store, "titanx", planeLimits{})
+}
+
 // TestAPIDocsCoverRoutes keeps docs/API.md honest in both directions:
 // every route the server actually registers must be mentioned there, and
 // every route the doc's table claims must actually be registered — so CI
@@ -31,12 +41,21 @@ func TestAPIDocsCoverRoutes(t *testing.T) {
 	if err != nil {
 		t.Fatalf("reading docs/API.md: %v", err)
 	}
-	s := docsServer(t)
-	if len(s.routes) == 0 {
-		t.Fatal("server registered no routes")
+	// The documented surface is the union of the two modes: the default
+	// control-plane server and the -agent node server (whose /fleet/snapshot
+	// push target exists only there).
+	var routes []string
+	for _, s := range []*server{docsServer(t), agentDocsServer(t)} {
+		if len(s.routes) == 0 {
+			t.Fatal("server registered no routes")
+		}
+		routes = append(routes, s.routes...)
 	}
 	registered := map[string]bool{}
-	for _, route := range s.routes {
+	for _, route := range routes {
+		if registered[route] {
+			continue
+		}
 		registered[route] = true
 		if !strings.Contains(string(doc), "`"+route+"`") {
 			t.Errorf("docs/API.md does not document route %s", route)
@@ -49,8 +68,8 @@ func TestAPIDocsCoverRoutes(t *testing.T) {
 	if len(rows) == 0 {
 		t.Fatal("docs/API.md has no routes table rows")
 	}
-	if len(rows) < len(s.routes) {
-		t.Errorf("routes table has %d rows but the server registers %d routes", len(rows), len(s.routes))
+	if len(rows) < len(registered) {
+		t.Errorf("routes table has %d rows but the two modes register %d routes", len(rows), len(registered))
 	}
 	for _, row := range rows {
 		if path := row[2]; !registered[path] {

@@ -22,6 +22,10 @@
 //	POST /observe                report a measured (features, config, speedup/energy) sample
 //	GET  /adapt/status           adaptation loop: store, drift verdict, retrain history
 //	POST /adapt/retrain          force a holdout-guarded retrain now
+//	POST /fleet/register         fleet: node registration/heartbeat (returns the snapshot when stale)
+//	POST /fleet/observe          fleet: node-forwarded observation batches
+//	GET  /fleet/nodes            fleet: the node directory with sync verdicts
+//	POST /fleet/push             fleet: re-fan-out every active snapshot to stale nodes
 //
 // Usage:
 //
@@ -31,6 +35,19 @@
 //	         [-adapt-auto] [-adapt-factor 2.0] [-adapt-min-samples 32]
 //	         [-adapt-cooldown 2m] [-adapt-capacity 1024] [-adapt-retrain-every 0]
 //	         [-adapt-max-age 0]
+//	gpufreqd -agent -control URL [-node ID] [-advertise URL] [-fleet-sync 0]
+//	         [-addr :8080] [-device titanx|p100] [-workers 0] [-settings 40]
+//
+// The default mode is the fleet's control plane as well as a standalone
+// daemon: it owns the registry, aggregates observations forwarded by
+// agents, runs drift detection and guarded retrains per device
+// fleet-wide, and fans activated snapshots out to registered nodes. In
+// -agent mode the process keeps only the memory-resident serving path
+// (predict, batch, select, observe-forwarding) plus POST /fleet/snapshot,
+// the control plane's push target: it registers with -control, installs
+// verified snapshot pushes with a hot swap, and never trains. A new agent
+// whose GPU profile has no published model is warm-started from the
+// nearest published donor model (see internal/fleet).
 //
 // The adaptation loop (internal/adapt) closes the train→serve→observe
 // cycle: POST /observe feeds a bounded observation store, a drift detector
@@ -81,6 +98,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/features"
+	"repro/internal/fleet"
 	"repro/internal/freq"
 	"repro/internal/gpu"
 	"repro/internal/measure"
@@ -106,7 +124,29 @@ func main() {
 	adaptMaxAge := flag.Duration("adapt-max-age", 0, "retrain when the active snapshot is older than this (0 = disabled)")
 	readConcurrency := flag.Int("read-concurrency", 0, "max in-flight read-plane requests: predict/select/policies (0 = default 64, negative = unlimited)")
 	controlConcurrency := flag.Int("control-concurrency", 0, "max in-flight control-plane requests: train/models/observe/adapt (0 = default 16, negative = unlimited)")
+	agentMode := flag.Bool("agent", false, "run as a thin fleet node agent against -control: serve pushed snapshots, forward observations, never train")
+	controlURL := flag.String("control", "", "control plane base URL (required with -agent)")
+	nodeID := flag.String("node", "", "fleet node id (-agent mode; default: the hostname)")
+	advertise := flag.String("advertise", "", "base URL the control plane pushes snapshots to (-agent mode; default derived from -addr, loopback on wildcard binds)")
+	fleetSync := flag.Duration("fleet-sync", 0, "agent heartbeat interval (-agent mode; 0 = follow the control plane's advertised interval)")
 	flag.Parse()
+
+	if *agentMode {
+		if err := runAgent(agentOptions{
+			Addr:      *addr,
+			Device:    *deviceName,
+			Workers:   *workers,
+			Settings:  *settings,
+			Node:      *nodeID,
+			Control:   *controlURL,
+			Advertise: *advertise,
+			Sync:      *fleetSync,
+			Limits:    planeLimits{Read: *readConcurrency, Control: *controlConcurrency},
+		}); err != nil {
+			log.Fatalf("gpufreqd: %v", err)
+		}
+		return
+	}
 
 	dev, err := device(*deviceName)
 	if err != nil {
@@ -236,6 +276,11 @@ type server struct {
 	jobsMu sync.Mutex
 	jobs   map[string]*trainJob // version -> training run
 
+	// fleet is the control plane mounted in default mode (nil in agent
+	// mode); agent is the node-side half in -agent mode (nil otherwise).
+	fleet *fleet.Control
+	agent *fleet.Agent
+
 	// read and control are the two handler planes' admission control:
 	// serving endpoints and management endpoints shed load independently.
 	read    *planeLimiter
@@ -296,6 +341,9 @@ func newServerLimits(e *engine.Engine, store *registry.Store, device string, acf
 	s.handleControl("/observe", s.handleObserve)
 	s.handleControl("/adapt/status", s.handleAdaptStatus)
 	s.handleControl("/adapt/retrain", s.handleAdaptRetrain)
+	// Fleet control plane: node registration/heartbeat, fan-out, and the
+	// fleet-wide observation aggregator, over this server's own registry.
+	s.mountFleet(acfg)
 	// Unmatched paths get the same structured JSON error shape as every
 	// other failure, not net/http's plain-text 404 page. Registered
 	// directly on the mux: "/" is a fallback, not part of the API surface.
@@ -357,7 +405,16 @@ func (s *server) activateAndInstall(version string, models *core.Models) error {
 		log.Printf("gpufreqd: loading fronts for %s: %v", version, err)
 		fronts = nil
 	}
-	return s.install(version, models, fronts)
+	if err := s.install(version, models, fronts); err != nil {
+		return err
+	}
+	// Fan the new active snapshot out to registered fleet nodes in the
+	// background: a fan-out failure never fails an activation, and stale
+	// nodes converge on their next heartbeat anyway.
+	if s.fleet != nil {
+		go s.fleet.PushDevice(context.Background(), s.device)
+	}
+	return nil
 }
 
 // loadActive loads and installs the device's active snapshot from the
@@ -462,6 +519,8 @@ type healthResponse struct {
 	// Planes reports per-plane admission control: concurrency limits and
 	// requests shed since boot.
 	Planes planesInfo `json:"planes"`
+	// Fleet is the agent's sync state (-agent mode only).
+	Fleet *fleet.AgentStatus `json:"fleet,omitempty"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -479,6 +538,10 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.store.Persistent() {
 		resp.Registry = s.store.Dir()
+	}
+	if s.agent != nil {
+		st := s.agent.Status()
+		resp.Fleet = &st
 	}
 	if version, pred, _, ok := s.serving.Current(); ok {
 		resp.Trained = true

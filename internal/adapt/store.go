@@ -20,6 +20,11 @@ type Observation struct {
 	// Kernel optionally names the kernel the sample came from (diagnostics
 	// only; the features identify it to the models).
 	Kernel string `json:"kernel,omitempty"`
+	// Node names the fleet node that reported the observation ("" for
+	// observations ingested locally). The control plane stamps it from the
+	// forwarding agent's registration, so fleet-wide aggregation can be
+	// broken down per node (StoreStats.Nodes) without trusting the body.
+	Node string `json:"node,omitempty"`
 	// Features is the kernel's static feature vector.
 	Features features.Static `json:"features"`
 	// Config is the frequency configuration the kernel ran at.
@@ -76,6 +81,10 @@ type StoreStats struct {
 	Total int `json:"total"`
 	// Dropped is how many old observations the bound evicted.
 	Dropped int `json:"dropped"`
+	// Nodes breaks the held observations down by reporting fleet node
+	// (Observation.Node); locally ingested observations have no node and
+	// are not listed. Empty when no fleet node has reported.
+	Nodes map[string]int `json:"nodes,omitempty"`
 }
 
 // store is a bounded ring buffer of observations: ingestion is O(1), the
@@ -87,10 +96,11 @@ type store struct {
 	count   int
 	total   int
 	dropped int
+	nodes   map[string]int // held observations per reporting node
 }
 
 func newStore(capacity int) *store {
-	return &store{buf: make([]Observation, capacity)}
+	return &store{buf: make([]Observation, capacity), nodes: map[string]int{}}
 }
 
 // add ingests one observation, evicting the oldest past the bound.
@@ -98,6 +108,7 @@ func (s *store) add(o Observation) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.count == len(s.buf) {
+		s.nodeDelta(s.buf[s.start].Node, -1)
 		s.buf[s.start] = o
 		s.start = (s.start + 1) % len(s.buf)
 		s.dropped++
@@ -105,7 +116,19 @@ func (s *store) add(o Observation) {
 		s.buf[(s.start+s.count)%len(s.buf)] = o
 		s.count++
 	}
+	s.nodeDelta(o.Node, 1)
 	s.total++
+}
+
+// nodeDelta adjusts the per-node held count; locally ingested observations
+// (no node) are not tracked. Caller holds mu.
+func (s *store) nodeDelta(node string, d int) {
+	if node == "" {
+		return
+	}
+	if s.nodes[node] += d; s.nodes[node] <= 0 {
+		delete(s.nodes, node)
+	}
 }
 
 // snapshot copies the held observations out, oldest first.
@@ -137,5 +160,12 @@ func (s *store) tail(n int) []Observation {
 func (s *store) stats() StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return StoreStats{Count: s.count, Capacity: len(s.buf), Total: s.total, Dropped: s.dropped}
+	st := StoreStats{Count: s.count, Capacity: len(s.buf), Total: s.total, Dropped: s.dropped}
+	if len(s.nodes) > 0 {
+		st.Nodes = make(map[string]int, len(s.nodes))
+		for n, c := range s.nodes {
+			st.Nodes[n] = c
+		}
+	}
+	return st
 }

@@ -1,0 +1,308 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/engine"
+	"repro/internal/registry"
+)
+
+// AgentConfig wires a node agent to its serving stack and its control
+// plane. Node, Device, Control, Store, Engine, and Serving are required.
+type AgentConfig struct {
+	// Node is this agent's unique id within the fleet.
+	Node string
+	// Addr is the base URL the control plane can push snapshots to
+	// ("" disables push; the agent then converges by heartbeat pull only).
+	Addr string
+	// Device is the GPU profile this agent serves.
+	Device string
+	// Control is the control plane's base URL.
+	Control string
+	// Client is the HTTP client for register/observe calls (nil = a
+	// default with a 10 s timeout). The fleettest harness injects a
+	// fault-injecting transport here.
+	Client *http.Client
+	// Store is the agent's local snapshot cache — typically memory-mode,
+	// matching the "memory-resident serving path" the agent keeps.
+	Store *registry.Store
+	// Engine supplies the agent's ladder and prediction options; installed
+	// models are also set on it so diagnostic paths see them.
+	Engine *engine.Engine
+	// Serving is the hot-swap holder the agent's read plane serves from.
+	Serving *registry.Serving
+}
+
+// AgentStatus is the agent's fleet-sync state, reported on /healthz in
+// agent mode.
+type AgentStatus struct {
+	// Node, Device, and Control echo the configuration.
+	Node    string `json:"node"`
+	Device  string `json:"device"`
+	Control string `json:"control"`
+	// Version and Hash identify the installed snapshot ("" before the
+	// first install).
+	Version string `json:"version,omitempty"`
+	Hash    string `json:"hash,omitempty"`
+	// Bootstrap is set when the installed snapshot came from a
+	// cross-device warm start.
+	Bootstrap *BootstrapInfo `json:"bootstrap,omitempty"`
+	// Syncs counts completed register/heartbeat round trips; Installs
+	// counts snapshot installs (heartbeat pulls and pushes alike).
+	Syncs    int `json:"syncs"`
+	Installs int `json:"installs"`
+	// LastSync is when the last heartbeat round trip succeeded.
+	LastSync time.Time `json:"last_sync,omitempty"`
+	// LastError is the most recent sync failure ("" after a success).
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Agent is the node-side half of the fleet: it registers with (and
+// heartbeats to) the control plane, installs pushed or pulled snapshot
+// documents into its local store and hot-swap holder, and forwards
+// locally reported observations upstream. It never trains. All methods
+// are safe for concurrent use; installs serialize against each other but
+// never block the serving read path (registry.Serving swaps atomically).
+type Agent struct {
+	cfg AgentConfig
+
+	mu        sync.Mutex
+	version   string
+	hash      string
+	bootstrap *BootstrapInfo
+	syncs     int
+	installs  int
+	lastSync  time.Time
+	lastError string
+}
+
+// NewAgent validates the configuration and returns an agent; no network
+// traffic happens until Sync or Run.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	switch {
+	case cfg.Node == "":
+		return nil, errors.New("fleet: agent needs a node id")
+	case cfg.Device == "":
+		return nil, errors.New("fleet: agent needs a device")
+	case cfg.Control == "":
+		return nil, errors.New("fleet: agent needs a control plane URL")
+	case cfg.Store == nil || cfg.Engine == nil || cfg.Serving == nil:
+		return nil, errors.New("fleet: agent needs a store, an engine, and a serving holder")
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Agent{cfg: cfg}, nil
+}
+
+// Status reports the agent's sync state.
+func (a *Agent) Status() AgentStatus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AgentStatus{
+		Node: a.cfg.Node, Device: a.cfg.Device, Control: a.cfg.Control,
+		Version: a.version, Hash: a.hash, Bootstrap: a.bootstrap,
+		Syncs: a.syncs, Installs: a.installs,
+		LastSync: a.lastSync, LastError: a.lastError,
+	}
+}
+
+// Sync performs one register/heartbeat round trip: report what is being
+// served, install whatever snapshot the control plane hands back, and
+// return the response. A device with no published model and no compatible
+// bootstrap donor is an explicit error (the registration itself still
+// stands and later heartbeats retry) — never a silent cold fit.
+func (a *Agent) Sync(ctx context.Context) (RegisterResponse, error) {
+	a.mu.Lock()
+	req := RegisterRequest{
+		Node: a.cfg.Node, Addr: a.cfg.Addr, Device: a.cfg.Device,
+		Version: a.version, Hash: a.hash,
+	}
+	a.mu.Unlock()
+
+	var resp RegisterResponse
+	err := a.postJSON(ctx, "/fleet/register", req, &resp)
+	if err != nil {
+		a.recordSync(err)
+		return RegisterResponse{}, err
+	}
+	if len(resp.Snapshot) > 0 {
+		if _, _, err := a.installDoc(resp.Snapshot, resp.Bootstrap); err != nil {
+			err = fmt.Errorf("fleet: installing snapshot from control plane: %w", err)
+			a.recordSync(err)
+			return resp, err
+		}
+	}
+	if resp.BootstrapError != "" && a.Status().Hash == "" {
+		err = fmt.Errorf("fleet: device %s has no published model and no bootstrap donor: %s",
+			a.cfg.Device, resp.BootstrapError)
+		a.recordSync(err)
+		return resp, err
+	}
+	a.recordSync(nil)
+	return resp, nil
+}
+
+// recordSync updates the sync accounting.
+func (a *Agent) recordSync(err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.syncs++
+	if err != nil {
+		a.lastError = err.Error()
+		return
+	}
+	a.lastError = ""
+	a.lastSync = time.Now().UTC()
+}
+
+// Run heartbeats until the context is cancelled. interval <= 0 follows
+// the control plane's advertised SyncSeconds (falling back to
+// DefaultSyncInterval until the first successful round trip). Sync errors
+// are recorded in Status and retried on the next tick.
+func (a *Agent) Run(ctx context.Context, interval time.Duration) {
+	for {
+		wait := interval
+		resp, err := a.Sync(ctx)
+		if wait <= 0 {
+			wait = DefaultSyncInterval
+			if err == nil && resp.SyncSeconds > 0 {
+				wait = time.Duration(resp.SyncSeconds * float64(time.Second))
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(wait):
+		}
+	}
+}
+
+// InstallDoc verifies a snapshot document and hot-swaps serving to it.
+// The document is imported into the agent's local store (content hash
+// checked — ErrCorrupt on tampering; schema checked — ErrIncompatible on
+// mismatch), deserialized, and installed as a predictor over the agent's
+// own ladder. Installing the already-serving hash is an idempotent no-op
+// (installed=false). A snapshot recorded for a different device (a
+// cross-device bootstrap) installs its models but drops its front table:
+// fronts are sweeps of the donor's ladder, so the governor falls back to
+// live sweeps on this agent's ladder.
+func (a *Agent) InstallDoc(doc []byte) (registry.Manifest, bool, error) {
+	return a.installDoc(doc, nil)
+}
+
+// installDoc is InstallDoc plus bootstrap provenance for Status.
+func (a *Agent) installDoc(doc []byte, boot *BootstrapInfo) (registry.Manifest, bool, error) {
+	man, err := a.cfg.Store.ImportDoc(doc)
+	if err != nil {
+		return registry.Manifest{}, false, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if man.Hash == a.hash && a.hash != "" {
+		return man, false, nil
+	}
+	models, fronts, _, err := a.cfg.Store.LoadFull(man.Device, man.Version)
+	if err != nil {
+		return registry.Manifest{}, false, err
+	}
+	if man.Device != a.cfg.Device {
+		fronts = nil
+	}
+	ladder := a.cfg.Engine.Harness().Device().Sim().Ladder
+	pred := engine.NewPredictor(models, ladder, a.cfg.Engine.Options())
+	a.cfg.Engine.SetModels(models)
+	a.cfg.Serving.InstallWithFronts(man.Version, pred, fronts)
+	a.version, a.hash = man.Version, man.Hash
+	if boot != nil {
+		b := *boot
+		a.bootstrap = &b
+	} else if man.Device == a.cfg.Device {
+		a.bootstrap = nil
+	}
+	a.installs++
+	return man, true, nil
+}
+
+// HandleSnapshot is POST /fleet/snapshot on the agent: the control
+// plane's push target. The body is a raw snapshot document; a document
+// that fails the content-hash check or the schema check is refused with
+// 409 Conflict and the currently serving snapshot keeps serving.
+func (a *Agent) HandleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeWireError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	doc, err := io.ReadAll(io.LimitReader(r.Body, maxWireBody))
+	if err != nil {
+		writeWireError(w, http.StatusBadRequest, fmt.Errorf("reading snapshot: %v", err))
+		return
+	}
+	man, installed, err := a.InstallDoc(doc)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, registry.ErrCorrupt) || errors.Is(err, registry.ErrIncompatible) {
+			status = http.StatusConflict
+		}
+		writeWireError(w, status, err)
+		return
+	}
+	writeWire(w, http.StatusOK, SnapshotResponse{
+		Device: man.Device, Version: man.Version, Hash: man.Hash, Installed: installed,
+	})
+}
+
+// Forward sends a batch of locally reported observations to the control
+// plane's aggregator and returns its per-observation verdicts.
+func (a *Agent) Forward(ctx context.Context, obs []adapt.Observation) (*ObserveResponse, error) {
+	req := ObserveRequest{Node: a.cfg.Node, Device: a.cfg.Device, Observations: obs}
+	var resp ObserveResponse
+	if err := a.postJSON(ctx, "/fleet/observe", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// postJSON POSTs v to the control plane and decodes the JSON response
+// into out, surfacing the control plane's {"error": ...} body on non-200.
+func (a *Agent) postJSON(ctx context.Context, path string, v, out any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimSuffix(a.cfg.Control, "/") + path
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	httpResp, err := a.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(httpResp.Body, maxWireBody))
+	if err != nil {
+		return err
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("fleet: control plane: %s", e.Error)
+		}
+		return fmt.Errorf("fleet: control plane: %s", httpResp.Status)
+	}
+	return json.Unmarshal(data, out)
+}

@@ -1,0 +1,272 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/engine"
+	"repro/internal/registry"
+)
+
+// agentRig is an agent plus the serving stack it manages.
+type agentRig struct {
+	store   *registry.Store
+	eng     *engine.Engine
+	serving *registry.Serving
+	agent   *Agent
+}
+
+// newAgentRig builds a memory-resident agent for a device, pointed at a
+// control plane URL.
+func newAgentRig(t *testing.T, device, control string) *agentRig {
+	t.Helper()
+	store, err := registry.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &agentRig{store: store, eng: newEngineFor(t, device), serving: registry.NewServing()}
+	r.agent, err = NewAgent(AgentConfig{
+		Node: "node-" + device, Device: device, Control: control,
+		Store: r.store, Engine: r.eng, Serving: r.serving,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// controlServer mounts a control plane's fleet handlers on a test server.
+func controlServer(t *testing.T, c *Control) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet/register", c.HandleRegister)
+	mux.HandleFunc("/fleet/observe", c.HandleObserve)
+	mux.HandleFunc("/fleet/nodes", c.HandleNodes)
+	mux.HandleFunc("/fleet/push", c.HandlePush)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestNewAgentValidation(t *testing.T) {
+	store, _ := registry.Open("")
+	eng := newEngineFor(t, "titanx")
+	serving := registry.NewServing()
+	full := AgentConfig{Node: "n", Device: "titanx", Control: "http://c",
+		Store: store, Engine: eng, Serving: serving}
+	for _, breakIt := range []func(*AgentConfig){
+		func(c *AgentConfig) { c.Node = "" },
+		func(c *AgentConfig) { c.Device = "" },
+		func(c *AgentConfig) { c.Control = "" },
+		func(c *AgentConfig) { c.Store = nil },
+		func(c *AgentConfig) { c.Engine = nil },
+		func(c *AgentConfig) { c.Serving = nil },
+	} {
+		cfg := full
+		breakIt(&cfg)
+		if _, err := NewAgent(cfg); err == nil {
+			t.Errorf("incomplete config accepted: %+v", cfg)
+		}
+	}
+	if _, err := NewAgent(full); err != nil {
+		t.Fatalf("complete config rejected: %v", err)
+	}
+}
+
+func TestAgentSyncInstallsThenHeartbeats(t *testing.T) {
+	c := newControl(t, constModels(t, 1, 1), adapt.Config{})
+	man := publishConst(t, c.Store(), "titanx", 1, 1)
+	srv := controlServer(t, c)
+	rig := newAgentRig(t, "titanx", srv.URL)
+
+	// First sync installs the active snapshot.
+	resp, err := rig.agent.Sync(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Active != man.Version {
+		t.Fatalf("Active = %q, want %q", resp.Active, man.Version)
+	}
+	if got := rig.serving.Version(); got != man.Version {
+		t.Fatalf("serving %q after sync, want %q", got, man.Version)
+	}
+	st := rig.agent.Status()
+	if st.Hash != man.Hash || st.Installs != 1 || st.Syncs != 1 || st.LastError != "" {
+		t.Fatalf("status after first sync: %+v", st)
+	}
+
+	// A second sync is a pure heartbeat: no snapshot, no reinstall.
+	if _, err := rig.agent.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st = rig.agent.Status()
+	if st.Installs != 1 || st.Syncs != 2 {
+		t.Fatalf("status after heartbeat: %+v", st)
+	}
+	if rig.serving.Swaps() != 1 {
+		t.Fatalf("serving swaps = %d, want 1 (no spurious reinstall)", rig.serving.Swaps())
+	}
+
+	// The control plane sees the node as synced.
+	nodes := c.Nodes()
+	if len(nodes) != 1 || !nodes[0].Synced || nodes[0].Hash != man.Hash {
+		t.Fatalf("control-plane view: %+v", nodes)
+	}
+}
+
+func TestAgentBootstrapsAcrossDevices(t *testing.T) {
+	c := newControl(t, constModels(t, 1, 1), adapt.Config{})
+	man := publishConst(t, c.Store(), "titanx", 1, 1)
+	srv := controlServer(t, c)
+	rig := newAgentRig(t, "p100", srv.URL)
+
+	if _, err := rig.agent.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := rig.agent.Status()
+	if st.Bootstrap == nil || st.Bootstrap.Donor != "titanx" || st.Bootstrap.Version != man.Version {
+		t.Fatalf("bootstrap provenance: %+v", st.Bootstrap)
+	}
+	if st.Hash != man.Hash {
+		t.Fatalf("installed hash %q, want the donor's %q", st.Hash, man.Hash)
+	}
+	// The donor's models serve on the p100 agent (over the p100 ladder).
+	version, pred, gov, ok := rig.serving.Current()
+	if !ok || version != man.Version || pred == nil || gov == nil {
+		t.Fatalf("serving after bootstrap: version=%q ok=%v", version, ok)
+	}
+}
+
+func TestAgentNoDonorIsExplicitError(t *testing.T) {
+	c := newControl(t, constModels(t, 1, 1), adapt.Config{})
+	srv := controlServer(t, c)
+	rig := newAgentRig(t, "p100", srv.URL)
+
+	_, err := rig.agent.Sync(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "no bootstrap donor") {
+		t.Fatalf("sync error = %v, want an explicit no-donor failure", err)
+	}
+	if st := rig.agent.Status(); st.Hash != "" || st.LastError == "" {
+		t.Fatalf("status: %+v (nothing must have been installed)", st)
+	}
+	// No silent cold fit: the agent's engine holds no trained models.
+	if rig.eng.Trained() {
+		t.Fatal("agent trained models locally despite having no donor")
+	}
+	// The registration still stands upstream.
+	if nodes := c.Nodes(); len(nodes) != 1 {
+		t.Fatalf("nodes = %+v", nodes)
+	}
+}
+
+// mutateManifest re-serializes a snapshot document with its manifest
+// edited — content hash untouched, so only manifest-level checks fire.
+func mutateManifest(t *testing.T, doc []byte, edit func(man map[string]any)) []byte {
+	t.Helper()
+	var sf map[string]json.RawMessage
+	if err := json.Unmarshal(doc, &sf); err != nil {
+		t.Fatal(err)
+	}
+	var man map[string]any
+	if err := json.Unmarshal(sf["manifest"], &man); err != nil {
+		t.Fatal(err)
+	}
+	edit(man)
+	raw, err := json.Marshal(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf["manifest"] = raw
+	out, err := json.Marshal(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAgentRefusesTamperedAndIncompatiblePushes(t *testing.T) {
+	c := newControl(t, constModels(t, 1, 1), adapt.Config{})
+	man := publishConst(t, c.Store(), "titanx", 1, 1)
+	srv := controlServer(t, c)
+	rig := newAgentRig(t, "titanx", srv.URL)
+	if _, err := rig.agent.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	doc, err := c.Store().ExportDoc("titanx", man.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	push := func(body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/fleet/snapshot", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		rig.agent.HandleSnapshot(w, req)
+		return w
+	}
+
+	// Tampered models payload: the content hash no longer verifies.
+	tampered := strings.Replace(string(doc), `"coefs": [`, `"coefs": [0,`, 1)
+	if tampered == string(doc) {
+		t.Fatal("tamper marker not found")
+	}
+	if w := push(tampered); w.Code != http.StatusConflict {
+		t.Fatalf("tampered push: %d %s, want 409", w.Code, w.Body)
+	}
+
+	// Schema-mismatched manifest (hash intact): refused as incompatible.
+	incompatible := mutateManifest(t, doc, func(man map[string]any) {
+		schema := man["schema"].(map[string]any)
+		schema["dim"] = schema["dim"].(float64) + 1
+	})
+	if w := push(string(incompatible)); w.Code != http.StatusConflict {
+		t.Fatalf("schema-mismatched push: %d %s, want 409", w.Code, w.Body)
+	}
+
+	// The agent kept serving the version it had.
+	st := rig.agent.Status()
+	if st.Version != man.Version || st.Hash != man.Hash || st.Installs != 1 {
+		t.Fatalf("status after refused pushes: %+v", st)
+	}
+	if rig.serving.Swaps() != 1 {
+		t.Fatalf("serving swaps = %d, want 1", rig.serving.Swaps())
+	}
+
+	// A valid re-push of the serving snapshot is an idempotent no-op.
+	if w := push(string(doc)); w.Code != http.StatusOK {
+		t.Fatalf("valid re-push: %d %s", w.Code, w.Body)
+	}
+	var snap SnapshotResponse
+	if err := json.NewDecoder(push(string(doc)).Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Installed || snap.Hash != man.Hash {
+		t.Fatalf("re-push response: %+v, want installed=false", snap)
+	}
+}
+
+func TestAgentForwardsObservations(t *testing.T) {
+	c := newControl(t, constModels(t, 1, 1), adapt.Config{})
+	publishConst(t, c.Store(), "titanx", 1, 1)
+	srv := controlServer(t, c)
+	rig := newAgentRig(t, "titanx", srv.URL)
+	if _, err := rig.agent.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := rig.agent.Forward(context.Background(),
+		[]adapt.Observation{obsFor(1, 1), obsFor(0.9, 1.1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 2 || resp.Results[0].Error != "" || resp.Results[1].Error != "" {
+		t.Fatalf("forward results: %+v", resp.Results)
+	}
+	if resp.Store.Count != 2 || resp.Store.Nodes["node-titanx"] != 2 {
+		t.Fatalf("aggregated store after forward: %+v", resp.Store)
+	}
+}

@@ -1,0 +1,44 @@
+package fleettest
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkFleetPush measures one activation's fan-out latency against
+// fleet size: every iteration flips the active snapshot between two
+// versions and pushes it to all registered nodes, so each round delivers
+// a full snapshot to every agent over real loopback HTTP.
+func BenchmarkFleetPush(b *testing.B) {
+	for _, nNodes := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("nodes=%d", nNodes), func(b *testing.B) {
+			ctx := context.Background()
+			cl := NewCluster(b, Options{})
+			man1 := cl.PublishTrained("titanx", 0)
+			man2 := cl.PublishTrained("titanx", 1)
+			store := cl.Control.Store()
+			for i := 0; i < nNodes; i++ {
+				n := cl.AddNode(fmt.Sprintf("n%d", i), "titanx")
+				if _, err := n.Agent.Sync(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				man := man1
+				if i%2 == 1 {
+					man = man2
+				}
+				if err := store.Activate("titanx", man.Version); err != nil {
+					b.Fatal(err)
+				}
+				report := cl.Control.PushDevice(ctx, "titanx")
+				if report.Pushed != nNodes || len(report.Errors) != 0 {
+					b.Fatalf("round %d: %+v", i, report)
+				}
+			}
+		})
+	}
+}

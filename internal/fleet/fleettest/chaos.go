@@ -1,0 +1,119 @@
+package fleettest
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrSevered is the transport error a request over a severed link fails
+// with — the in-process stand-in for a network partition.
+var ErrSevered = errors.New("fleettest: link severed")
+
+// ErrDropped is the transport error an individually dropped request fails
+// with (DropNext).
+var ErrDropped = errors.New("fleettest: request dropped")
+
+// Chaos is a fault-injecting http.RoundTripper for fleet tests. Faults
+// are keyed by destination host ("127.0.0.1:PORT" — req.URL.Host), so one
+// Chaos can shape every link its client talks over independently.
+//
+// The pattern for per-node-pair fault injection, for future fleet tests:
+// give each agent its own Chaos on the client it reaches the control
+// plane with (the agent→control link), and give the control plane one
+// Chaos on its push client (the control→agent links, distinguished by
+// each agent's listen address). Severing both directions for one node —
+// what Cluster.Partition does — partitions exactly that node while the
+// rest of the fleet keeps flowing.
+//
+// Three fault shapes compose, checked in this order per request: a
+// severed link fails every request with ErrSevered until healed; DropNext
+// eats the next n requests (transient loss, e.g. exactly one missed push)
+// with ErrDropped; Delay sleeps before forwarding (slow link). All
+// methods are safe for concurrent use with in-flight requests.
+type Chaos struct {
+	base http.RoundTripper
+
+	mu      sync.Mutex
+	severed map[string]bool
+	drops   map[string]int
+	delays  map[string]time.Duration
+}
+
+// NewChaos wraps a base transport (nil = http.DefaultTransport) with
+// fault injection. With no faults configured it is transparent.
+func NewChaos(base http.RoundTripper) *Chaos {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Chaos{
+		base:    base,
+		severed: map[string]bool{},
+		drops:   map[string]int{},
+		delays:  map[string]time.Duration{},
+	}
+}
+
+// Sever partitions the link to host: every request fails immediately
+// with ErrSevered until Heal.
+func (c *Chaos) Sever(host string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.severed[host] = true
+}
+
+// Heal removes all faults on the link to host.
+func (c *Chaos) Heal(host string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.severed, host)
+	delete(c.drops, host)
+	delete(c.delays, host)
+}
+
+// DropNext makes the next n requests to host fail with ErrDropped.
+func (c *Chaos) DropNext(host string, n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.drops[host] = n
+}
+
+// Delay makes every request to host sleep for d before being forwarded
+// (0 removes the delay).
+func (c *Chaos) Delay(host string, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d <= 0 {
+		delete(c.delays, host)
+		return
+	}
+	c.delays[host] = d
+}
+
+// RoundTrip applies the configured faults for the destination host, then
+// forwards to the base transport.
+func (c *Chaos) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	c.mu.Lock()
+	severed := c.severed[host]
+	drop := false
+	if !severed && c.drops[host] > 0 {
+		c.drops[host]--
+		drop = true
+	}
+	delay := c.delays[host]
+	c.mu.Unlock()
+
+	if severed {
+		return nil, fmt.Errorf("%w: %s", ErrSevered, host)
+	}
+	if drop {
+		return nil, fmt.Errorf("%w: %s", ErrDropped, host)
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return c.base.RoundTrip(req)
+}

@@ -1,0 +1,288 @@
+package fleettest
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestClusterConvergesThroughPartitionAndRestart is the fleet acceptance
+// test: three agents and a control plane on real listeners in one
+// process. It drives the full lifecycle — initial sync, a publish with
+// fan-out, a network partition (the partitioned agent keeps serving the
+// old snapshot and misses the push), heal-and-converge, and an agent
+// restart (fresh store, fresh serving holder, same identity) — asserting
+// after every transition that converged agents serve bit-identically.
+func TestClusterConvergesThroughPartitionAndRestart(t *testing.T) {
+	ctx := context.Background()
+	cl := NewCluster(t, Options{})
+
+	man1 := cl.PublishTrained("titanx", 0)
+	n1 := cl.AddNode("n1", "titanx")
+	n2 := cl.AddNode("n2", "titanx")
+	n3 := cl.AddNode("n3", "titanx")
+	all := []*Node{n1, n2, n3}
+
+	// Initial sync: every agent pulls v0001 on registration.
+	for _, n := range all {
+		if _, err := n.Agent.Sync(ctx); err != nil {
+			t.Fatalf("%s initial sync: %v", n.Name, err)
+		}
+		if got := n.Agent.Status().Hash; got != man1.Hash {
+			t.Fatalf("%s installed %.8s, want %.8s", n.Name, got, man1.Hash)
+		}
+	}
+	sig := Signature(t, n1.Serving, 3)
+	for _, n := range all[1:] {
+		if got := Signature(t, n.Serving, 3); got != sig {
+			t.Fatalf("%s does not serve bit-identically to n1 on %s", n.Name, man1.Version)
+		}
+	}
+
+	// Publish v0002 and fan it out by push.
+	man2 := cl.PublishTrained("titanx", 1)
+	report := cl.Control.PushDevice(ctx, "titanx")
+	if report.Targets != 3 || report.Pushed != 3 || len(report.Errors) != 0 {
+		t.Fatalf("v0002 fan-out: %+v", report)
+	}
+	sig2 := Signature(t, n1.Serving, 3)
+	if sig2 == sig {
+		t.Fatal("v0002 signature equals v0001 — versions are not distinguishable")
+	}
+	for _, n := range all {
+		if n.Agent.Status().Hash != man2.Hash || Signature(t, n.Serving, 3) != sig2 {
+			t.Fatalf("%s did not converge on %s", n.Name, man2.Version)
+		}
+	}
+
+	// Partition n3 in both directions, then publish v0003.
+	cl.Partition(n3)
+	man3 := cl.PublishTrained("titanx", 2)
+	report = cl.Control.PushDevice(ctx, "titanx")
+	if report.Targets != 3 || report.Pushed != 2 || len(report.Errors) != 1 {
+		t.Fatalf("fan-out during partition: %+v", report)
+	}
+	if !strings.Contains(report.Errors[0], "n3") {
+		t.Fatalf("fan-out error does not name the partitioned node: %v", report.Errors)
+	}
+	// The partitioned agent's heartbeat fails too, and it keeps serving
+	// the snapshot it has.
+	if _, err := n3.Agent.Sync(ctx); err == nil || !errors.Is(err, ErrSevered) {
+		t.Fatalf("partitioned heartbeat error = %v, want ErrSevered", err)
+	}
+	if got := n3.Serving.Version(); got != man2.Version {
+		t.Fatalf("partitioned agent serves %q, want to keep %q", got, man2.Version)
+	}
+	sig3 := Signature(t, n1.Serving, 3)
+	if n2sig := Signature(t, n2.Serving, 3); n2sig != sig3 {
+		t.Fatal("n1 and n2 diverged on v0003")
+	}
+
+	// Heal: the next heartbeat pulls the missed snapshot — convergence
+	// needs no extra protocol.
+	cl.Heal(n3)
+	if err := cl.WaitSynced(ctx, man3.Hash, n3); err != nil {
+		t.Fatal(err)
+	}
+	if got := Signature(t, n3.Serving, 3); got != sig3 {
+		t.Fatal("healed agent does not serve bit-identically")
+	}
+
+	// Restart n2: the fresh process has an empty store and serving holder
+	// but the same fleet identity. It must re-register (its address
+	// changed), receive the current snapshot, and serve bit-identically.
+	n2 = cl.RestartNode("n2")
+	if n2.Serving.Version() != "" {
+		t.Fatal("restarted agent retained serving state")
+	}
+	if _, err := n2.Agent.Sync(ctx); err != nil {
+		t.Fatalf("restarted agent sync: %v", err)
+	}
+	st := n2.Agent.Status()
+	if st.Hash != man3.Hash || st.Installs != 1 {
+		t.Fatalf("restarted agent status: %+v", st)
+	}
+	if got := Signature(t, n2.Serving, 3); got != sig3 {
+		t.Fatal("restarted agent does not serve bit-identically")
+	}
+
+	// The control plane's directory reflects the new address and the
+	// converged fleet. The directory records what each node last
+	// *reported*, so the restarted agent's install becomes visible on its
+	// next heartbeat.
+	if _, err := n2.Agent.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	nodes := cl.Control.Nodes()
+	if len(nodes) != 3 {
+		t.Fatalf("directory has %d nodes, want 3", len(nodes))
+	}
+	for _, info := range nodes {
+		if !info.Synced || info.Hash != man3.Hash {
+			t.Fatalf("directory disagrees on convergence: %+v", info)
+		}
+		if info.Node == "n2" && info.Addr != n2.URL {
+			t.Fatalf("restarted n2's address not updated: %q vs %q", info.Addr, n2.URL)
+		}
+	}
+}
+
+// TestClusterBootstrapsFreshDeviceProfile covers the cross-device warm
+// start: a brand-new agent with a GPU profile the fleet has never
+// published for (p100 in a titanx fleet) registers and must start serving
+// from the nearest donor's snapshot — a transfer, not a cold fit.
+func TestClusterBootstrapsFreshDeviceProfile(t *testing.T) {
+	ctx := context.Background()
+	cl := NewCluster(t, Options{})
+	man := cl.PublishTrained("titanx", 0)
+
+	tx := cl.AddNode("tx1", "titanx")
+	if _, err := tx.Agent.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	p := cl.AddNode("p1", "p100")
+	if _, err := p.Agent.Sync(ctx); err != nil {
+		t.Fatalf("bootstrap sync: %v", err)
+	}
+	st := p.Agent.Status()
+	if st.Bootstrap == nil || st.Bootstrap.Donor != "titanx" || st.Bootstrap.Version != man.Version {
+		t.Fatalf("bootstrap provenance: %+v", st.Bootstrap)
+	}
+	if st.Bootstrap.Distance <= 0 {
+		t.Errorf("profile distance = %g, want > 0", st.Bootstrap.Distance)
+	}
+	// The donor's snapshot was transferred, not refit: same content hash.
+	if st.Hash != man.Hash {
+		t.Fatalf("bootstrapped hash %.8s, want the donor's %.8s", st.Hash, man.Hash)
+	}
+
+	// The donor's publish-time fronts are ladder-specific and must be
+	// dropped on the cross-device install: the titanx node serves from the
+	// front table, the p100 node falls back to live sweeps.
+	_, _, txGov, _ := tx.Serving.Current()
+	_, _, pGov, _ := p.Serving.Current()
+	if txGov.FrontKernels() == 0 {
+		t.Error("same-device node lost its publish-time fronts")
+	}
+	if pGov.FrontKernels() != 0 {
+		t.Error("cross-device node kept the donor's ladder-specific fronts")
+	}
+
+	// Decisions on the p100 node resolve over the p100 ladder.
+	k := engine.TrainingKernels()[2].Features
+	p100Ladder := p.Engine.Harness().Device().Sim().Ladder
+	set := pGov.Predictor().ParetoSet(k)
+	if len(set) == 0 {
+		t.Fatal("bootstrapped predictor returned an empty Pareto set")
+	}
+	for _, pt := range set {
+		if !contains(p100Ladder.MemClocks(), pt.Config.Mem) {
+			t.Fatalf("bootstrapped node predicted over a foreign ladder: %+v", pt.Config)
+		}
+	}
+}
+
+// contains reports whether a clock list includes c.
+func contains[T comparable](xs []T, c T) bool {
+	for _, x := range xs {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// TestClusterBootstrapEdgeCases pins the failure modes of cross-device
+// bootstrap over the real wire: no compatible donor is an explicit error
+// (never a silent cold fit), and a tampered snapshot pushed to an agent
+// is refused with 409 while the agent keeps serving what it has.
+func TestClusterBootstrapEdgeCases(t *testing.T) {
+	ctx := context.Background()
+	cl := NewCluster(t, Options{})
+
+	// Empty fleet: the p100 agent's registration stands, but the sync
+	// reports the missing donor explicitly and nothing is installed.
+	p := cl.AddNode("p1", "p100")
+	if _, err := p.Agent.Sync(ctx); err == nil || !strings.Contains(err.Error(), "no bootstrap donor") {
+		t.Fatalf("no-donor sync error = %v, want an explicit no-donor failure", err)
+	}
+	if p.Engine.Trained() {
+		t.Fatal("agent cold-fitted models locally despite having no donor")
+	}
+	if nodes := cl.Control.Nodes(); len(nodes) != 1 || nodes[0].Node != "p1" {
+		t.Fatalf("registration did not stand: %+v", nodes)
+	}
+
+	// Publish a donor; now the same heartbeat loop bootstraps.
+	man := cl.PublishTrained("titanx", 0)
+	if _, err := p.Agent.Sync(ctx); err != nil {
+		t.Fatalf("post-publish sync: %v", err)
+	}
+	if p.Agent.Status().Hash != man.Hash {
+		t.Fatal("agent did not bootstrap once a donor appeared")
+	}
+
+	// A tampered push over the real wire: refused with 409, serving
+	// untouched.
+	doc, err := cl.Control.Store().ExportDoc("titanx", man.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(doc), `"coefs": [`, `"coefs": [0,`, 1)
+	if tampered == string(doc) {
+		t.Fatal("tamper marker not found")
+	}
+	resp, err := http.Post(p.URL+"/fleet/snapshot", "application/json", strings.NewReader(tampered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || !strings.Contains(string(body), "corrupt") {
+		t.Fatalf("tampered push: %d %s, want 409 naming corruption", resp.StatusCode, body)
+	}
+	if got := p.Agent.Status().Hash; got != man.Hash {
+		t.Fatalf("tampered push changed serving: %.8s vs %.8s", got, man.Hash)
+	}
+}
+
+// TestChaosDropAndDelay exercises the remaining fault shapes: a dropped
+// push is retried to convergence by the next heartbeat, and a delayed
+// link slows traffic without failing it.
+func TestChaosDropAndDelay(t *testing.T) {
+	ctx := context.Background()
+	cl := NewCluster(t, Options{})
+	cl.PublishTrained("titanx", 0)
+	n := cl.AddNode("n1", "titanx")
+	if _, err := n.Agent.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drop exactly the next push to this node: the fan-out round reports
+	// the failure, the node stays stale, and the next heartbeat converges.
+	man2 := cl.PublishTrained("titanx", 1)
+	cl.ControlChaos.DropNext(hostOf(n.URL), 1)
+	report := cl.Control.PushDevice(ctx, "titanx")
+	if report.Pushed != 0 || len(report.Errors) != 1 {
+		t.Fatalf("dropped-push report: %+v", report)
+	}
+	if _, err := n.Agent.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Agent.Status().Hash; got != man2.Hash {
+		t.Fatalf("heartbeat after dropped push installed %.8s, want %.8s", got, man2.Hash)
+	}
+
+	// A delayed agent→control link: the heartbeat still succeeds.
+	n.Chaos.Delay(hostOf(cl.ControlURL), 20e6) // 20ms
+	if _, err := n.Agent.Sync(ctx); err != nil {
+		t.Fatalf("sync over delayed link: %v", err)
+	}
+	n.Chaos.Heal(hostOf(cl.ControlURL))
+}

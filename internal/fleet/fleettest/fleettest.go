@@ -1,0 +1,384 @@
+// Package fleettest is the in-process multi-node integration harness for
+// the fleet layer: one control plane plus N node agents, each listening
+// on its own 127.0.0.1:0 socket inside a single test binary, wired
+// through fault-injecting transports (Chaos) so tests can partition,
+// delay, or drop traffic per node-pair. Tests drive real HTTP over the
+// same wire paths production uses — register/heartbeat, snapshot push,
+// observation forwarding — and assert fleet-wide convergence with
+// bit-identical serving signatures.
+package fleettest
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/fleet"
+	"repro/internal/gpu"
+	"repro/internal/measure"
+	"repro/internal/nvml"
+	"repro/internal/policy"
+	"repro/internal/registry"
+)
+
+// Options tunes a test cluster. The zero value selects a small, fast
+// configuration suitable for CI.
+type Options struct {
+	// Engine configures every engine the cluster builds (control-plane
+	// retrain engines and per-node serving engines). Zero selects 2
+	// workers and 2 settings per kernel.
+	Engine engine.Options
+	// Adapt configures the control plane's fleet adaptation controllers.
+	Adapt adapt.Config
+	// TrainKernels bounds fleet retrains and publish-time front sweeps
+	// (nil = the first 8 training kernels).
+	TrainKernels []core.TrainingKernel
+	// Trainer optionally injects a fake trainer into the control plane.
+	Trainer func(device string, eng *engine.Engine) adapt.Trainer
+}
+
+// withDefaults resolves the zero values.
+func (o Options) withDefaults() Options {
+	if o.Engine.Workers == 0 {
+		o.Engine.Workers = 2
+	}
+	if o.Engine.Core.SettingsPerKernel == 0 {
+		o.Engine.Core.SettingsPerKernel = 2
+	}
+	if o.TrainKernels == nil {
+		o.TrainKernels = engine.TrainingKernels()[:8]
+	}
+	return o
+}
+
+// Node is one agent plus the serving stack and listener it runs on.
+type Node struct {
+	// Name and Device identify the node in the fleet.
+	Name   string
+	Device string
+	// URL is the node's base address (the control plane pushes here).
+	URL string
+	// Agent, Store, Engine, and Serving are the node's fleet stack.
+	Agent   *fleet.Agent
+	Store   *registry.Store
+	Engine  *engine.Engine
+	Serving *registry.Serving
+	// Chaos shapes this node's agent→control link.
+	Chaos *Chaos
+
+	srv *http.Server
+}
+
+// Cluster is a control plane plus its nodes, all in-process.
+type Cluster struct {
+	tb   testing.TB
+	opts Options
+
+	// Control is the control plane under test; ControlURL its address.
+	Control    *fleet.Control
+	ControlURL string
+	// ControlChaos shapes the control→agent push links (keyed by each
+	// node's host).
+	ControlChaos *Chaos
+
+	controlSrv *http.Server
+
+	mu    sync.Mutex
+	nodes map[string]*Node
+}
+
+// NewCluster starts a control plane (memory-mode store) on a :0 listener
+// and returns the cluster. Everything is shut down via tb.Cleanup.
+func NewCluster(tb testing.TB, opts Options) *Cluster {
+	tb.Helper()
+	opts = opts.withDefaults()
+	store, err := registry.Open("")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	chaos := NewChaos(nil)
+	control := fleet.NewControl(store, fleet.ControlConfig{
+		Opts:         opts.Engine,
+		Adapt:        opts.Adapt,
+		TrainKernels: opts.TrainKernels,
+		Trainer:      opts.Trainer,
+		Client:       &http.Client{Transport: chaos, Timeout: 5 * time.Second},
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet/register", control.HandleRegister)
+	mux.HandleFunc("/fleet/observe", control.HandleObserve)
+	mux.HandleFunc("/fleet/nodes", control.HandleNodes)
+	mux.HandleFunc("/fleet/push", control.HandlePush)
+
+	c := &Cluster{
+		tb: tb, opts: opts,
+		Control: control, ControlChaos: chaos,
+		nodes: map[string]*Node{},
+	}
+	c.controlSrv, c.ControlURL = serve(tb, mux)
+	return c
+}
+
+// serve starts an HTTP server on a fresh 127.0.0.1:0 listener and
+// registers its shutdown with tb.Cleanup.
+func serve(tb testing.TB, handler http.Handler) (*http.Server, string) {
+	tb.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	srv := &http.Server{Handler: handler}
+	go srv.Serve(ln)
+	tb.Cleanup(func() { srv.Close() })
+	return srv, "http://" + ln.Addr().String()
+}
+
+// engineFor builds an engine over the named device profile.
+func engineFor(tb testing.TB, device string, opts engine.Options) *engine.Engine {
+	tb.Helper()
+	dev, err := gpu.ByName(device)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return engine.New(measure.NewHarness(nvml.NewDevice(dev)), opts)
+}
+
+// AddNode starts an agent for a device on its own listener and registers
+// it with the cluster (not yet with the control plane — call Sync).
+func (c *Cluster) AddNode(name, device string) *Node {
+	c.tb.Helper()
+	store, err := registry.Open("")
+	if err != nil {
+		c.tb.Fatal(err)
+	}
+	n := &Node{
+		Name: name, Device: device,
+		Store:   store,
+		Engine:  engineFor(c.tb, device, c.opts.Engine),
+		Serving: registry.NewServing(),
+		Chaos:   NewChaos(nil),
+	}
+
+	mux := http.NewServeMux()
+	agentReady := make(chan struct{})
+	mux.HandleFunc("/fleet/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		<-agentReady
+		n.Agent.HandleSnapshot(w, r)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		<-agentReady
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(n.Agent.Status())
+	})
+	n.srv, n.URL = serve(c.tb, mux)
+
+	n.Agent, err = fleet.NewAgent(fleet.AgentConfig{
+		Node: name, Addr: n.URL, Device: device, Control: c.ControlURL,
+		Client: &http.Client{Transport: n.Chaos, Timeout: 5 * time.Second},
+		Store:  store, Engine: n.Engine, Serving: n.Serving,
+	})
+	if err != nil {
+		c.tb.Fatal(err)
+	}
+	close(agentReady)
+
+	c.mu.Lock()
+	c.nodes[name] = n
+	c.mu.Unlock()
+	return n
+}
+
+// StopNode shuts a node's listener down (in-flight requests fail) and
+// forgets it, leaving its registration on the control plane — the shape
+// of a crashed agent.
+func (c *Cluster) StopNode(name string) {
+	c.mu.Lock()
+	n := c.nodes[name]
+	delete(c.nodes, name)
+	c.mu.Unlock()
+	if n != nil {
+		n.srv.Close()
+	}
+}
+
+// RestartNode stops a node and brings up a fresh one with the same fleet
+// identity: new listener (new address), empty store, empty serving holder
+// — exactly what an agent process restart loses. The restarted agent must
+// re-register and receive the current snapshot to serve again.
+func (c *Cluster) RestartNode(name string) *Node {
+	c.tb.Helper()
+	c.mu.Lock()
+	old := c.nodes[name]
+	c.mu.Unlock()
+	if old == nil {
+		c.tb.Fatalf("RestartNode: unknown node %s", name)
+	}
+	device := old.Device
+	c.StopNode(name)
+	return c.AddNode(name, device)
+}
+
+// Partition severs both directions of a node's connectivity: its
+// heartbeats to the control plane and the control plane's pushes to it.
+func (c *Cluster) Partition(n *Node) {
+	n.Chaos.Sever(hostOf(c.ControlURL))
+	c.ControlChaos.Sever(hostOf(n.URL))
+}
+
+// Heal removes a partition.
+func (c *Cluster) Heal(n *Node) {
+	n.Chaos.Heal(hostOf(c.ControlURL))
+	c.ControlChaos.Heal(hostOf(n.URL))
+}
+
+// hostOf extracts the host:port key Chaos faults are registered under.
+func hostOf(url string) string {
+	return strings.TrimPrefix(url, "http://")
+}
+
+// trainedCache memoizes trained model sets per (device, variant, spk)
+// across a test binary: fitting real SVR models is the dominant cost of a
+// cluster test (especially under -race), and the fit is deterministic, so
+// every test reusing a variant shares one training run. The cached models
+// and fronts are treated as read-only.
+var trainedCache = struct {
+	sync.Mutex
+	m map[trainKey]*trainedModels
+}{m: map[trainKey]*trainedModels{}}
+
+type trainKey struct {
+	device  string
+	variant int
+	spk     int
+}
+
+type trainedModels struct {
+	models  *core.Models
+	fronts  *registry.Fronts
+	kernels int
+}
+
+// variantKernels is the per-variant training-kernel slice: disjoint
+// slices produce genuinely different models, so successive published
+// variants are distinguishable in bit-identical assertions.
+func variantKernels(variant int) []core.TrainingKernel {
+	all := engine.TrainingKernels()
+	return all[(variant*8)%len(all) : (variant*8)%len(all)+8]
+}
+
+// PublishTrained fits (or reuses, see trainedCache) a real small model
+// set for a device over the variant's kernel slice, publishes it with
+// publish-time fronts on the control plane's store, and activates it.
+func (c *Cluster) PublishTrained(device string, variant int) registry.Manifest {
+	c.tb.Helper()
+	kernels := variantKernels(variant)
+	key := trainKey{device: device, variant: variant, spk: c.opts.Engine.Core.SettingsPerKernel}
+	trainedCache.Lock()
+	tr := trainedCache.m[key]
+	if tr == nil {
+		eng := engineFor(c.tb, device, c.opts.Engine)
+		models, err := eng.Train(context.Background(), kernels)
+		if err != nil {
+			trainedCache.Unlock()
+			c.tb.Fatal(err)
+		}
+		ladder := eng.Harness().Device().Sim().Ladder
+		tr = &trainedModels{
+			models:  models,
+			fronts:  registry.ComputeFronts(engine.NewPredictor(models, ladder, eng.Options()), kernels),
+			kernels: len(kernels),
+		}
+		trainedCache.m[key] = tr
+	}
+	trainedCache.Unlock()
+
+	store := c.Control.Store()
+	man, err := store.SaveWithFronts(device, "", tr.models, registry.Training{
+		SettingsPerKernel: c.opts.Engine.Core.SettingsPerKernel,
+		Kernels:           tr.kernels,
+	}, tr.fronts)
+	if err != nil {
+		c.tb.Fatal(err)
+	}
+	if err := store.Activate(device, man.Version); err != nil {
+		c.tb.Fatal(err)
+	}
+	return man
+}
+
+// servingSignature is the serialized form Signature compares.
+type servingSignature struct {
+	Version   string              `json:"version"`
+	Sets      [][]core.Prediction `json:"sets"`
+	Decisions []policy.Decision   `json:"decisions"`
+}
+
+// Signature fingerprints what a node's serving holder answers: the full
+// Pareto set plus min-energy and edp governor decisions for the first
+// `kernels` training kernels, JSON-marshaled together with the serving
+// version. Two holders with equal signatures serve bit-identically (cache
+// counters and other process-local state are deliberately excluded).
+func Signature(tb testing.TB, s *registry.Serving, kernels int) string {
+	tb.Helper()
+	version, pred, gov, ok := s.Current()
+	if !ok {
+		tb.Fatal("Signature: serving holder is empty")
+	}
+	sig := servingSignature{Version: version}
+	for _, k := range engine.TrainingKernels()[:kernels] {
+		sig.Sets = append(sig.Sets, pred.ParetoSet(k.Features))
+		for _, spec := range []policy.Spec{{Name: "min-energy"}, {Name: "edp"}} {
+			d, err := gov.Decide(k.Features, spec)
+			if err != nil {
+				tb.Fatalf("Signature: %s decision: %v", spec.Name, err)
+			}
+			sig.Decisions = append(sig.Decisions, d)
+		}
+	}
+	out, err := json.Marshal(sig)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return string(out)
+}
+
+// WaitSynced heartbeats the named nodes until each serves the given hash
+// locally AND the control plane's directory records it (the directory
+// reflects what a node last reported, so it converges one heartbeat after
+// the install), or the deadline passes.
+func (c *Cluster) WaitSynced(ctx context.Context, hash string, nodes ...*Node) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		dir := map[string]string{}
+		for _, info := range c.Control.Nodes() {
+			dir[info.Node] = info.Hash
+		}
+		allSynced := true
+		for _, n := range nodes {
+			if n.Agent.Status().Hash == hash && dir[n.Name] == hash {
+				continue
+			}
+			allSynced = false
+			if _, err := n.Agent.Sync(ctx); err != nil && time.Now().After(deadline) {
+				return fmt.Errorf("node %s: %w", n.Name, err)
+			}
+		}
+		if allSynced {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleettest: nodes did not converge on %.8s…", hash)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

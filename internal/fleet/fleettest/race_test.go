@@ -1,0 +1,178 @@
+package fleettest
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/features"
+	"repro/internal/policy"
+)
+
+// Concurrency stress tests for the fleet layer, meant to run under
+// -race. Iteration counts are small and paced so the suite stays
+// affordable on a 1-vCPU CI runner; -short skips them entirely.
+
+// TestRaceServingUnderSnapshotPush hammers an agent's Serving holder with
+// the read-plane hot path — Pareto sweeps (/predict), batch prediction
+// (/predict/batch), and governor decisions (/select) — while snapshots
+// are concurrently installed over it, alternating between two versions.
+func TestRaceServingUnderSnapshotPush(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrency stress; skipped in -short")
+	}
+	ctx := context.Background()
+	cl := NewCluster(t, Options{})
+	kernels := engine.TrainingKernels()
+	man1 := cl.PublishTrained("titanx", 0)
+	man2 := cl.PublishTrained("titanx", 1)
+	n := cl.AddNode("n1", "titanx")
+	if _, err := n.Agent.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	doc1, err := cl.Control.Store().ExportDoc("titanx", man1.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := cl.Control.Store().ExportDoc("titanx", man2.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Read plane: single predictions and decisions against whatever
+	// snapshot is current.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, pred, gov, ok := n.Serving.Current()
+			if !ok {
+				continue
+			}
+			k := kernels[i%16].Features
+			pred.ParetoSet(k)
+			if _, err := gov.Decide(k, policy.Spec{Name: "min-energy"}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Batch plane.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sts := []features.Static{kernels[0].Features, kernels[5].Features}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, pred, _, ok := n.Serving.Current()
+			if !ok {
+				continue
+			}
+			if _, err := pred.PredictBatch(ctx, sts); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Installer: alternate the two snapshots through the same verify +
+	// hot-swap path /fleet/snapshot uses. Ten rounds paced at 2ms keep
+	// plenty of reader/installer overlap while staying affordable under
+	// the race detector on a 1-vCPU runner.
+	for i := 0; i < 10; i++ {
+		doc := doc1
+		if i%2 == 1 {
+			doc = doc2
+		}
+		if _, _, err := n.Agent.InstallDoc(doc); err != nil {
+			t.Errorf("install %d: %v", i, err)
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestRaceFanOutDuringAgentChurn runs control-plane fan-out rounds while
+// agents heartbeat and one node is repeatedly restarted — registration,
+// push accounting, and the node directory race against each other.
+func TestRaceFanOutDuringAgentChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrency stress; skipped in -short")
+	}
+	ctx := context.Background()
+	cl := NewCluster(t, Options{})
+	man := cl.PublishTrained("titanx", 0)
+	n1 := cl.AddNode("n1", "titanx")
+	n2 := cl.AddNode("n2", "titanx")
+	n3 := cl.AddNode("n3", "titanx")
+	for _, n := range []*Node{n1, n2, n3} {
+		if _, err := n.Agent.Sync(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Fan-out rounds against a churning fleet. Pushes to a node that is
+	// mid-restart fail and are recorded; that is the behavior under test.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cl.Control.PushDevice(ctx, "titanx")
+			time.Sleep(3 * time.Millisecond)
+		}
+	}()
+
+	// Steady heartbeats from a surviving node.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n1.Agent.Sync(ctx)
+			time.Sleep(3 * time.Millisecond)
+		}
+	}()
+
+	// Churn: restart n2 a few times; each incarnation re-registers.
+	for i := 0; i < 4; i++ {
+		n2 = cl.RestartNode("n2")
+		n2.Agent.Sync(ctx)
+		time.Sleep(3 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	// The fleet still converges once the churn stops.
+	if err := cl.WaitSynced(ctx, man.Hash, n1, n2, n3); err != nil {
+		t.Fatal(err)
+	}
+}

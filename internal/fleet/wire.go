@@ -1,0 +1,148 @@
+package fleet
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/adapt"
+)
+
+// RegisterRequest is the body of POST /fleet/register — both the initial
+// registration and every subsequent heartbeat. The agent reports what it
+// is currently serving (Version/Hash, empty when nothing is installed) so
+// the control plane can decide in one round trip whether the agent needs
+// the active snapshot.
+type RegisterRequest struct {
+	// Node is the agent's unique id within the fleet.
+	Node string `json:"node"`
+	// Addr is the base URL the control plane can reach the agent at for
+	// snapshot pushes (e.g. "http://10.0.0.7:8080").
+	Addr string `json:"addr"`
+	// Device is the GPU profile the agent serves.
+	Device string `json:"device"`
+	// Version and Hash identify the snapshot the agent currently serves
+	// ("" before the first install). Hash is the convergence key: two
+	// stores agree on content, not just on version labels.
+	Version string `json:"version,omitempty"`
+	Hash    string `json:"hash,omitempty"`
+}
+
+// BootstrapInfo describes a cross-device warm start: the donor device
+// whose active snapshot was handed to an agent whose own device has no
+// published model yet.
+type BootstrapInfo struct {
+	// Donor is the device the snapshot was trained for.
+	Donor string `json:"donor"`
+	// Version is the donor's active version.
+	Version string `json:"version"`
+	// Distance is the profile distance between donor and the agent's
+	// device (gpu.ProfileDistance).
+	Distance float64 `json:"distance"`
+}
+
+// RegisterResponse answers a registration/heartbeat. Snapshot carries the
+// full registry snapshot document (the ExportDoc/ImportDoc wire format)
+// when — and only when — the agent's reported hash differs from what it
+// should be serving; an up-to-date agent gets a small acknowledgement.
+type RegisterResponse struct {
+	// Node and Device echo the registration.
+	Node   string `json:"node"`
+	Device string `json:"device"`
+	// Active is the device's active version at the control plane ("" when
+	// the device has no published model yet).
+	Active string `json:"active,omitempty"`
+	// Snapshot is the snapshot document the agent should install, present
+	// only when the agent is stale (or bootstrapping).
+	Snapshot json.RawMessage `json:"snapshot,omitempty"`
+	// Bootstrap is set when Snapshot came from another device's model
+	// because the agent's device has none.
+	Bootstrap *BootstrapInfo `json:"bootstrap,omitempty"`
+	// BootstrapError explains why no bootstrap donor could be offered when
+	// the device has no model — an explicit failure, never a silent cold
+	// fit. The registration itself still succeeds: the node is enrolled
+	// and will receive the device's first published snapshot.
+	BootstrapError string `json:"bootstrap_error,omitempty"`
+	// SyncSeconds is the heartbeat interval the control plane asks for.
+	SyncSeconds float64 `json:"sync_seconds,omitempty"`
+}
+
+// SnapshotResponse answers a snapshot push (POST /fleet/snapshot on the
+// agent).
+type SnapshotResponse struct {
+	// Device and Version identify the installed snapshot.
+	Device  string `json:"device"`
+	Version string `json:"version"`
+	// Hash is the snapshot's content hash, echoed for convergence checks.
+	Hash string `json:"hash"`
+	// Installed is false when the agent was already serving this exact
+	// snapshot and skipped the reinstall.
+	Installed bool `json:"installed"`
+}
+
+// ObserveRequest is the body of POST /fleet/observe: a batch of
+// observations forwarded by one agent. The control plane stamps each
+// observation with the sending node before ingesting it.
+type ObserveRequest struct {
+	// Node and Device identify the forwarding agent.
+	Node   string `json:"node"`
+	Device string `json:"device"`
+	// Observations are the agent's validated measurements.
+	Observations []adapt.Observation `json:"observations"`
+}
+
+// ObserveResult is one forwarded observation's ingest outcome.
+type ObserveResult struct {
+	// Ingest is the adaptation controller's verdict (nil when rejected,
+	// with Error explaining why).
+	Ingest *adapt.IngestResult `json:"ingest,omitempty"`
+	Error  string              `json:"error,omitempty"`
+}
+
+// ObserveResponse reports a forwarded batch's outcome plus the device's
+// fleet-wide observation-store accounting.
+type ObserveResponse struct {
+	Device  string           `json:"device"`
+	Results []ObserveResult  `json:"results"`
+	Store   adapt.StoreStats `json:"store"`
+}
+
+// NodeInfo is one registered node as reported by GET /fleet/nodes.
+type NodeInfo struct {
+	// Node, Device and Addr are the registration identity.
+	Node   string `json:"node"`
+	Device string `json:"device"`
+	Addr   string `json:"addr"`
+	// Version and Hash are the snapshot the node last reported (heartbeat)
+	// or acknowledged (push).
+	Version string `json:"version,omitempty"`
+	Hash    string `json:"hash,omitempty"`
+	// Synced reports whether the node's hash matches its device's active
+	// snapshot (true also when the device has no active snapshot yet).
+	Synced bool `json:"synced"`
+	// RegisteredAt and LastSeen bound the node's liveness window.
+	RegisteredAt time.Time `json:"registered_at"`
+	LastSeen     time.Time `json:"last_seen"`
+	// Pushes and PushErrors count snapshot pushes attempted to this node;
+	// LastError is the most recent push failure ("" after a success).
+	Pushes     int    `json:"pushes"`
+	PushErrors int    `json:"push_errors"`
+	LastError  string `json:"last_error,omitempty"`
+}
+
+// NodesResponse is the body of GET /fleet/nodes.
+type NodesResponse struct {
+	Nodes []NodeInfo `json:"nodes"`
+}
+
+// PushReport summarizes one fan-out round (POST /fleet/push, or the
+// automatic fan-out after an activation).
+type PushReport struct {
+	// Device is the device the round covered ("" for an all-devices round).
+	Device string `json:"device,omitempty"`
+	// Targets is how many registered nodes were stale and were pushed to;
+	// Pushed how many installed successfully.
+	Targets int `json:"targets"`
+	Pushed  int `json:"pushed"`
+	// Errors lists per-node failures as "node: error".
+	Errors []string `json:"errors,omitempty"`
+}

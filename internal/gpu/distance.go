@@ -1,0 +1,68 @@
+package gpu
+
+import (
+	"math"
+
+	"repro/internal/clkernel"
+	"repro/internal/freq"
+)
+
+// ProfileDistance is a symmetric dissimilarity in [0, 1] between two
+// device profiles, used by the fleet layer to pick the nearest donor model
+// when bootstrapping a new GPU type from another device's snapshot. It is
+// the mean relative difference over the characteristics that determine how
+// well a model transfers (the paper's titanx↔p100 portability result says
+// snapshots are useful warm starts across devices; how useful tracks how
+// similar the devices are): aggregate compute throughput, delivered memory
+// bandwidth, the shape of the DVFS space, and the power-model scale.
+// Identical profiles are at distance 0.
+func ProfileDistance(a, b *Device) float64 {
+	fa, fb := profileFeatures(a), profileFeatures(b)
+	var sum float64
+	for i := range fa {
+		sum += relDiff(fa[i], fb[i])
+	}
+	return sum / float64(len(fa))
+}
+
+// profileFeatures reduces a device to the scalar characteristics the
+// distance compares.
+func profileFeatures(d *Device) [6]float64 {
+	peakCore := peakClock(d.Ladder.CoreClocks(d.Ladder.Default().Mem))
+	peakMem := peakClock(d.Ladder.MemClocks())
+	return [6]float64{
+		// Aggregate FP32 issue rate at the top core clock (ops/s scale).
+		float64(d.SMs) * d.Throughput[clkernel.OpFloatAdd] * float64(peakCore),
+		// Peak delivered DRAM bandwidth (bytes/s scale).
+		d.GlobalBytesPerCycle * float64(peakMem),
+		// DVFS space: how many distinct memory clocks and how wide the
+		// core-clock range is (what the models must generalize over).
+		float64(len(d.Ladder.MemClocks())),
+		float64(peakCore - d.VFloorMHz),
+		// Power-model scale: board power at the top configuration drives
+		// the normalized-energy curve the energy model learns.
+		d.ConstWatts + d.LeakPerVolt*d.VMax + d.CoreCapWatts,
+		d.MemWattsPerGHz * float64(peakMem) / 1000,
+	}
+}
+
+// peakClock returns the highest clock in a ladder slice (0 for empty).
+func peakClock(cs []freq.MHz) freq.MHz {
+	var m freq.MHz
+	for _, c := range cs {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// relDiff is |x−y| / max(|x|,|y|), the per-feature relative difference in
+// [0, 1]; two zeros are identical (0).
+func relDiff(x, y float64) float64 {
+	den := math.Max(math.Abs(x), math.Abs(y))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(x-y) / den
+}

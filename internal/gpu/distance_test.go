@@ -1,0 +1,29 @@
+package gpu
+
+import "testing"
+
+func TestProfileDistance(t *testing.T) {
+	titanx, err := ByName("titanx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p100, err := ByName("p100")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if d := ProfileDistance(titanx, titanx); d != 0 {
+		t.Fatalf("distance(titanx, titanx) = %g, want 0", d)
+	}
+	if d := ProfileDistance(p100, p100); d != 0 {
+		t.Fatalf("distance(p100, p100) = %g, want 0", d)
+	}
+
+	ab, ba := ProfileDistance(titanx, p100), ProfileDistance(p100, titanx)
+	if ab != ba {
+		t.Fatalf("distance is not symmetric: %g vs %g", ab, ba)
+	}
+	if ab <= 0 || ab > 1 {
+		t.Fatalf("distance(titanx, p100) = %g, want in (0, 1]", ab)
+	}
+}
