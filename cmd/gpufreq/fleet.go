@@ -42,15 +42,15 @@ func cmdFleetNodes(args []string) error {
 		fmt.Println("no registered nodes")
 		return nil
 	}
-	fmt.Printf("%-12s %-8s %-8s %-6s %10s  %-20s %s\n",
-		"node", "device", "version", "synced", "hash", "last seen", "addr")
+	fmt.Printf("%-12s %-8s %-8s %-6s %-9s %10s  %-20s %s\n",
+		"node", "device", "version", "synced", "breaker", "hash", "last seen", "addr")
 	for _, n := range resp.Nodes {
 		last := ""
 		if !n.LastSeen.IsZero() {
 			last = n.LastSeen.Format("2006-01-02 15:04:05")
 		}
-		fmt.Printf("%-12s %-8s %-8s %-6v %10.8s…  %-20s %s\n",
-			n.Node, n.Device, orNone(n.Version), n.Synced, n.Hash, last, n.Addr)
+		fmt.Printf("%-12s %-8s %-8s %-6v %-9s %10.8s…  %-20s %s\n",
+			n.Node, n.Device, orNone(n.Version), n.Synced, n.Breaker, n.Hash, last, n.Addr)
 		if n.PushErrors > 0 {
 			fmt.Printf("%-12s   %d/%d pushes failed; last error: %s\n",
 				"", n.PushErrors, n.Pushes, n.LastError)
@@ -73,6 +73,9 @@ func cmdFleetPush(args []string) error {
 	}
 	fmt.Printf("pushed to %d/%d stale nodes in %s\n",
 		report.Pushed, report.Targets, time.Since(start).Round(time.Millisecond))
+	if report.Skipped > 0 {
+		fmt.Printf("  %d node(s) skipped: push circuit breaker open (see fleet nodes)\n", report.Skipped)
+	}
 	for _, e := range report.Errors {
 		fmt.Fprintf(os.Stderr, "  push error: %s\n", e)
 	}

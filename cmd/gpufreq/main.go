@@ -69,6 +69,7 @@ import (
 	"repro/internal/nvml"
 	"repro/internal/policy"
 	"repro/internal/registry"
+	"repro/internal/resilience"
 )
 
 func main() {
@@ -555,14 +556,32 @@ func flagFor(param string) string {
 	return strings.ReplaceAll(param, "_", "-")
 }
 
+// cliRetry retries daemon RPCs with jittered exponential backoff, so a
+// one-shot command survives a daemon mid-restart or a briefly saturated
+// listener instead of failing on the first refused connection.
+var cliRetry = resilience.Retryer{BaseDelay: 200 * time.Millisecond, MaxDelay: 2 * time.Second}
+
 // postJSON posts a JSON document to a gpufreqd endpoint and decodes the
 // response, surfacing the daemon's structured {"error": ...} on failure.
+// POSTs mutate daemon state (observe ingests, retrain starts work), so only
+// transport failures — where no response was produced, hence nothing could
+// have been ingested — are retried; any decoded response is final.
 func postJSON(base, path string, body, out any) error {
 	doc, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(strings.TrimRight(base, "/")+path, "application/json", bytes.NewReader(doc))
+	url := strings.TrimRight(base, "/") + path
+	var resp *http.Response
+	err = cliRetry.Do(context.Background(), func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(doc))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err = http.DefaultClient.Do(req)
+		return err
+	})
 	if err != nil {
 		return err
 	}
@@ -570,9 +589,28 @@ func postJSON(base, path string, body, out any) error {
 	return decodeDaemon(resp, out)
 }
 
-// getJSON fetches a gpufreqd endpoint and decodes the response.
+// getJSON fetches a gpufreqd endpoint and decodes the response. GETs are
+// idempotent, so transient 5xx answers are retried along with transport
+// failures.
 func getJSON(base, path string, out any) error {
-	resp, err := http.Get(strings.TrimRight(base, "/") + path)
+	url := strings.TrimRight(base, "/") + path
+	var resp *http.Response
+	err := cliRetry.Do(context.Background(), func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		if r.StatusCode >= 500 {
+			defer r.Body.Close()
+			return decodeDaemon(r, nil)
+		}
+		resp = r
+		return nil
+	})
 	if err != nil {
 		return err
 	}

@@ -130,24 +130,36 @@ func (s *server) handleObserveForward(w http.ResponseWriter, r *http.Request) {
 		obs = append(obs, o)
 	}
 	var store adapt.StoreStats
+	var spooled int
 	if len(obs) > 0 {
-		resp, err := s.agent.Forward(r.Context(), obs)
+		resp, sp, err := s.agent.Forward(r.Context(), obs)
 		if err != nil {
 			writeError(w, http.StatusBadGateway, "forwarding observations to the control plane: %v", err)
 			return
 		}
-		for j, i := range idx {
-			if j >= len(resp.Results) {
-				break
+		spooled = sp
+		if resp != nil {
+			for j, i := range idx {
+				if j >= len(resp.Results) {
+					break
+				}
+				results[i].Ingest = resp.Results[j].Ingest
+				results[i].Error = resp.Results[j].Error
 			}
-			results[i].Ingest = resp.Results[j].Ingest
-			results[i].Error = resp.Results[j].Error
+			store = resp.Store
 		}
-		store = resp.Store
 	}
-	writeJSON(w, http.StatusOK, observeResponse{
+	// A spooled batch was accepted but not yet delivered: 202 tells the
+	// reporter its observations are durably queued and will reach the
+	// control plane when the partition heals.
+	status := http.StatusOK
+	if spooled > 0 {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, observeResponse{
 		ModelVersion: s.serving.Version(),
 		Results:      results,
+		Spooled:      spooled,
 		Store:        store,
 	})
 }
@@ -162,7 +174,9 @@ type agentOptions struct {
 	Control   string
 	Advertise string
 	Sync      time.Duration
+	SpoolDir  string
 	Limits    planeLimits
+	Timeouts  httpTimeouts
 }
 
 // runAgent is the -agent entry point: a thin node agent that registers
@@ -205,6 +219,14 @@ func runAgent(opts agentOptions) error {
 	if advertise == "" {
 		advertise = advertiseURL(ln.Addr())
 	}
+	// The spool keeps observations that could not be forwarded; with
+	// -spool-dir it survives agent restarts, so a partition plus a crash
+	// still loses nothing.
+	spool, err := adapt.OpenSpool(opts.SpoolDir)
+	if err != nil {
+		return err
+	}
+	defer spool.Close()
 	agent, err := fleet.NewAgent(fleet.AgentConfig{
 		Node:    opts.Node,
 		Addr:    advertise,
@@ -213,13 +235,14 @@ func runAgent(opts agentOptions) error {
 		Store:   store,
 		Engine:  eng,
 		Serving: s.serving,
+		Spool:   spool,
 	})
 	if err != nil {
 		return err
 	}
 	s.agent = agent
 
-	httpSrv := &http.Server{Handler: s.mux}
+	httpSrv := opts.Timeouts.server("", s.handler())
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/engine"
+	"repro/internal/registry"
+)
+
+// hardenedServer makes a server of either daemon mode behind the real
+// timeout-carrying http.Server on a fresh loopback listener.
+func hardenedServer(t *testing.T, agentMode bool, timeouts httpTimeouts) string {
+	t.Helper()
+	store, err := registry.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.NewDefault(engine.Options{})
+	var s *server
+	if agentMode {
+		s = newAgentServer(eng, store, "titanx", planeLimits{})
+	} else {
+		s = newServer(eng, store, "titanx", adapt.Config{})
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := timeouts.server("", s.handler())
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+// TestStalledHeaderConnectionClosed is the slow-loris regression test for
+// both daemon modes: a client that opens a connection and never finishes
+// its request header must be disconnected by ReadHeaderTimeout, not hold a
+// connection slot forever. This is what the -http-read-header-timeout flag
+// (and the harness timeouts mirroring it) exists for.
+func TestStalledHeaderConnectionClosed(t *testing.T) {
+	for _, mode := range []struct {
+		name  string
+		agent bool
+	}{{"default", false}, {"agent", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			addr := hardenedServer(t, mode.agent, httpTimeouts{
+				ReadHeader: 100 * time.Millisecond,
+				Read:       time.Second,
+				Write:      time.Second,
+				Idle:       time.Second,
+			})
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			// Half a request line, then stall: a well-behaved server must
+			// cut us off once ReadHeaderTimeout elapses.
+			if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHost: stall")); err != nil {
+				t.Fatal(err)
+			}
+			conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+			start := time.Now()
+			if _, err := conn.Read(make([]byte, 1)); err == nil {
+				t.Fatal("server answered a half-written request header")
+			} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				t.Fatal("server kept the stalled-header connection open past 2s")
+			}
+			if elapsed := time.Since(start); elapsed > 1500*time.Millisecond {
+				t.Fatalf("stalled-header connection closed after %v, want ~ReadHeaderTimeout (100ms)", elapsed)
+			}
+		})
+	}
+}
+
+// TestPanicRecoveryMiddleware pins the hardened handler contract: a
+// panicking handler costs that request a structured JSON 500 — not a
+// killed connection — and the incident is counted on /healthz.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	s := testServer(t)
+	s.mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	h := s.handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler returned %d, want 500: %s", rec.Code, rec.Body)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Error == "" {
+		t.Fatalf("panic response is not a structured error: %q (%v)", rec.Body, err)
+	}
+	if !strings.Contains(body.Error, "panic") {
+		t.Fatalf("panic response %q does not say a panic was recovered", body.Error)
+	}
+
+	// The incident shows up on /healthz, and a healthy request still works:
+	// the middleware recovered the goroutine, not just the one response.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz after a recovered panic: %d: %s", rec.Code, rec.Body)
+	}
+	var health struct {
+		Panics int64 `json:"panics"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Panics != 1 {
+		t.Fatalf("healthz panics = %d after one recovered panic, want 1", health.Panics)
+	}
+}
+
+// TestPanicRecoveryHonorsAbortHandler: http.ErrAbortHandler is the
+// sanctioned abort-this-response panic and must pass through uncounted.
+func TestPanicRecoveryHonorsAbortHandler(t *testing.T) {
+	s := testServer(t)
+	s.mux.HandleFunc("/abort", func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	})
+	h := s.handler()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("handler() swallowed http.ErrAbortHandler")
+			}
+		}()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/abort", nil))
+	}()
+	if got := s.panics.Load(); got != 0 {
+		t.Fatalf("ErrAbortHandler counted as %d panics, want 0", got)
+	}
+}

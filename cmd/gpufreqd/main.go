@@ -34,9 +34,20 @@
 //	         [-read-concurrency 64] [-control-concurrency 16]
 //	         [-adapt-auto] [-adapt-factor 2.0] [-adapt-min-samples 32]
 //	         [-adapt-cooldown 2m] [-adapt-capacity 1024] [-adapt-retrain-every 0]
-//	         [-adapt-max-age 0]
+//	         [-adapt-max-age 0] [-obs-dir DIR]
+//	         [-http-read-header-timeout 10s] [-http-read-timeout 2m]
+//	         [-http-write-timeout 5m] [-http-idle-timeout 2m]
 //	gpufreqd -agent -control URL [-node ID] [-advertise URL] [-fleet-sync 0]
-//	         [-addr :8080] [-device titanx|p100] [-workers 0] [-settings 40]
+//	         [-spool-dir DIR] [-addr :8080] [-device titanx|p100]
+//	         [-workers 0] [-settings 40]
+//
+// Durability: -obs-dir persists the adaptation loop's observation window
+// in a crash-safe write-ahead log, replayed on boot so a restarted daemon
+// resumes drift detection with the exact pre-crash window; -spool-dir
+// (-agent mode) persists observations the agent could not forward, flushed
+// in order when the control plane is reachable again. Both servers bound
+// slow clients with the four -http-*-timeout flags, and every handler
+// panic is absorbed into a structured 500 (counted on /healthz).
 //
 // The default mode is the fleet's control plane as well as a standalone
 // daemon: it owns the registry, aggregates observations forwarded by
@@ -91,6 +102,7 @@ import (
 	"os"
 	"os/signal"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -124,12 +136,25 @@ func main() {
 	adaptMaxAge := flag.Duration("adapt-max-age", 0, "retrain when the active snapshot is older than this (0 = disabled)")
 	readConcurrency := flag.Int("read-concurrency", 0, "max in-flight read-plane requests: predict/select/policies (0 = default 64, negative = unlimited)")
 	controlConcurrency := flag.Int("control-concurrency", 0, "max in-flight control-plane requests: train/models/observe/adapt (0 = default 16, negative = unlimited)")
+	obsDir := flag.String("obs-dir", "", "observation WAL directory: persists the observation window so a restart replays it (empty = memory-only)")
+	spoolDir := flag.String("spool-dir", "", "observation spool directory (-agent mode): persists unforwarded observations across restarts (empty = memory-only)")
+	readHeaderTimeout := flag.Duration("http-read-header-timeout", defaultReadHeaderTimeout, "max time to read a request's headers (0 = unlimited)")
+	readTimeout := flag.Duration("http-read-timeout", defaultReadTimeout, "max time to read a whole request including the body (0 = unlimited)")
+	writeTimeout := flag.Duration("http-write-timeout", defaultWriteTimeout, "max time to write a response (0 = unlimited)")
+	idleTimeout := flag.Duration("http-idle-timeout", defaultIdleTimeout, "max keep-alive idle time between requests (0 = unlimited)")
 	agentMode := flag.Bool("agent", false, "run as a thin fleet node agent against -control: serve pushed snapshots, forward observations, never train")
 	controlURL := flag.String("control", "", "control plane base URL (required with -agent)")
 	nodeID := flag.String("node", "", "fleet node id (-agent mode; default: the hostname)")
 	advertise := flag.String("advertise", "", "base URL the control plane pushes snapshots to (-agent mode; default derived from -addr, loopback on wildcard binds)")
 	fleetSync := flag.Duration("fleet-sync", 0, "agent heartbeat interval (-agent mode; 0 = follow the control plane's advertised interval)")
 	flag.Parse()
+
+	timeouts := httpTimeouts{
+		ReadHeader: *readHeaderTimeout,
+		Read:       *readTimeout,
+		Write:      *writeTimeout,
+		Idle:       *idleTimeout,
+	}
 
 	if *agentMode {
 		if err := runAgent(agentOptions{
@@ -141,7 +166,9 @@ func main() {
 			Control:   *controlURL,
 			Advertise: *advertise,
 			Sync:      *fleetSync,
+			SpoolDir:  *spoolDir,
 			Limits:    planeLimits{Read: *readConcurrency, Control: *controlConcurrency},
+			Timeouts:  timeouts,
 		}); err != nil {
 			log.Fatalf("gpufreqd: %v", err)
 		}
@@ -156,7 +183,15 @@ func main() {
 	if err != nil {
 		log.Fatalf("gpufreqd: %v", err)
 	}
-	srv := newServerLimits(engine.New(measure.NewHarness(nvml.NewDevice(dev)), engine.Options{
+	var wal *adapt.WAL
+	if *obsDir != "" {
+		wal, err = adapt.OpenWAL(adapt.WALConfig{Dir: *obsDir, Capacity: *adaptCapacity})
+		if err != nil {
+			log.Fatalf("gpufreqd: opening observation WAL: %v", err)
+		}
+		defer wal.Close()
+	}
+	srv := newServerWAL(engine.New(measure.NewHarness(nvml.NewDevice(dev)), engine.Options{
 		Workers: *workers,
 		Core:    core.Options{SettingsPerKernel: *settings},
 	}), store, *deviceName, adapt.Config{
@@ -167,7 +202,7 @@ func main() {
 		Capacity:     *adaptCapacity,
 		RetrainEvery: *adaptRetrainEvery,
 		MaxModelAge:  *adaptMaxAge,
-	}, planeLimits{Read: *readConcurrency, Control: *controlConcurrency})
+	}, planeLimits{Read: *readConcurrency, Control: *controlConcurrency}, wal)
 
 	switch {
 	case *modelPath != "":
@@ -198,7 +233,7 @@ func main() {
 		log.Printf("trained and published %s in %.0f ms", job.Version, job.snapshot(srv).DurationMS)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.mux}
+	httpSrv := timeouts.server(*addr, srv.handler())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -285,6 +320,14 @@ type server struct {
 	// serving endpoints and management endpoints shed load independently.
 	read    *planeLimiter
 	control *planeLimiter
+
+	// panics counts handler panics absorbed by the recovery middleware
+	// since boot; nonzero values surface on /healthz.
+	panics atomic.Int64
+
+	// wal is the observation WAL feeding the adaptation controller (nil
+	// without -obs-dir); held here so /healthz can report its stats.
+	wal *adapt.WAL
 }
 
 // newServer builds a server with default plane concurrency limits.
@@ -295,6 +338,15 @@ func newServer(e *engine.Engine, store *registry.Store, device string, acfg adap
 // newServerLimits is newServer with explicit read/control-plane
 // concurrency limits (see planeLimits).
 func newServerLimits(e *engine.Engine, store *registry.Store, device string, acfg adapt.Config, limits planeLimits) *server {
+	return newServerWAL(e, store, device, acfg, limits, nil)
+}
+
+// newServerWAL is newServerLimits with a crash-safe observation WAL (nil =
+// memory-only observations): the adaptation controller is seeded from the
+// WAL's recovered window, so a restarted daemon resumes drift detection
+// where the previous process stopped, and every ingested observation is
+// appended for the next restart.
+func newServerWAL(e *engine.Engine, store *registry.Store, device string, acfg adapt.Config, limits planeLimits, wal *adapt.WAL) *server {
 	s := &server{
 		engine:  e,
 		store:   store,
@@ -305,10 +357,12 @@ func newServerLimits(e *engine.Engine, store *registry.Store, device string, acf
 		jobs:    map[string]*trainJob{},
 		read:    newPlaneLimiter("read", limits.Read, defaultReadConcurrency),
 		control: newPlaneLimiter("control", limits.Control, defaultControlConcurrency),
+		wal:     wal,
 	}
 	s.adapt = adapt.New(acfg, adapt.Deps{
 		Device: device,
 		Store:  store,
+		WAL:    wal,
 		Current: func() (*engine.Predictor, string, bool) {
 			version, pred, _, ok := s.serving.Current()
 			return pred, version, ok
@@ -368,6 +422,61 @@ func (s *server) handleRead(pattern string, h http.HandlerFunc) {
 // handleControl registers a control-plane route under the control limiter.
 func (s *server) handleControl(pattern string, h http.HandlerFunc) {
 	s.handle(pattern, s.control.wrap(h))
+}
+
+// Default HTTP server timeouts, each overridable by flag. They bound how
+// long one misbehaving client can hold a connection (and with it a plane
+// slot): a stalled header, a body that trickles forever, a reader that
+// never drains the response, an idle keep-alive that never speaks again.
+const (
+	defaultReadHeaderTimeout = 10 * time.Second
+	defaultReadTimeout       = 2 * time.Minute
+	defaultWriteTimeout      = 5 * time.Minute
+	defaultIdleTimeout       = 2 * time.Minute
+)
+
+// httpTimeouts carries the flag-resolved server timeouts into both daemon
+// modes (0 disables the corresponding bound).
+type httpTimeouts struct {
+	ReadHeader, Read, Write, Idle time.Duration
+}
+
+// server applies the timeouts to an http.Server serving handler.
+func (t httpTimeouts) server(addr string, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: t.ReadHeader,
+		ReadTimeout:       t.Read,
+		WriteTimeout:      t.Write,
+		IdleTimeout:       t.Idle,
+	}
+}
+
+// handler is the server's complete HTTP surface: the route mux wrapped in
+// the panic-recovery middleware, so one handler bug costs a structured 500
+// (counted on /healthz) instead of the connection — net/http would
+// otherwise just close the stream, which a client sees as an unexplained
+// transport error.
+func (s *server) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				// The sanctioned abort-this-response panic; not a bug.
+				panic(rec)
+			}
+			s.panics.Add(1)
+			log.Printf("gpufreqd: panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+			// Best-effort: if the handler already wrote a header this is a
+			// no-op on a dead stream, which is all that can be done.
+			writeError(w, http.StatusInternalServerError, "internal error (panic recovered; see server log)")
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
 }
 
 // install publishes a model set as the serving version, hot-swapping the
@@ -519,7 +628,13 @@ type healthResponse struct {
 	// Planes reports per-plane admission control: concurrency limits and
 	// requests shed since boot.
 	Planes planesInfo `json:"planes"`
-	// Fleet is the agent's sync state (-agent mode only).
+	// Panics counts handler panics absorbed by the recovery middleware
+	// since boot (0 on a healthy server).
+	Panics int64 `json:"panics"`
+	// WAL is the observation WAL's accounting (-obs-dir only).
+	WAL *adapt.WALStats `json:"wal,omitempty"`
+	// Fleet is the agent's sync state (-agent mode only), including spool
+	// depth, current sync backoff, and the degraded flag.
 	Fleet *fleet.AgentStatus `json:"fleet,omitempty"`
 }
 
@@ -536,8 +651,13 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Registry:      "memory",
 		Planes:        planesInfo{Read: s.read.info(), Control: s.control.info()},
 	}
+	resp.Panics = s.panics.Load()
 	if s.store.Persistent() {
 		resp.Registry = s.store.Dir()
+	}
+	if s.wal != nil {
+		st := s.wal.Stats()
+		resp.WAL = &st
 	}
 	if s.agent != nil {
 		st := s.agent.Status()
@@ -1072,9 +1192,14 @@ type observeResult struct {
 }
 
 type observeResponse struct {
-	ModelVersion string           `json:"model_version"`
-	Results      []observeResult  `json:"results"`
-	Store        adapt.StoreStats `json:"store"`
+	ModelVersion string          `json:"model_version"`
+	Results      []observeResult `json:"results"`
+	// Spooled (agent mode only, with a 202 status) counts observations the
+	// agent accepted into its local spool because the control plane was
+	// unreachable; they flush in order on reconnect and Results carries no
+	// ingest verdicts for them.
+	Spooled int              `json:"spooled,omitempty"`
+	Store   adapt.StoreStats `json:"store"`
 }
 
 func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {

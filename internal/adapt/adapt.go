@@ -183,8 +183,14 @@ type Deps struct {
 	// candidate model set, so adapt-published snapshots serve /select from
 	// the table like training-published ones — gpufreqd passes
 	// registry.ComputeFronts over the training kernels. Nil publishes
-	// candidates without fronts (the only optional field).
+	// candidates without fronts.
 	Fronts func(m *core.Models) *registry.Fronts
+	// WAL optionally makes the observation store durable: every ingested
+	// observation is appended to the log, and New seeds the store from the
+	// log's recovered window so a daemon restart resumes the drift window
+	// bit-identically instead of re-accumulating it. Nil keeps the store
+	// memory-only (the pre-`-obs-dir` behaviour).
+	WAL *WAL
 }
 
 // Outcomes recorded in RetrainState.LastOutcome.
@@ -251,6 +257,9 @@ type Status struct {
 	Drift DriftStatus `json:"drift"`
 	// Retrain is the retraining history and in-flight state.
 	Retrain RetrainState `json:"retrain"`
+	// WAL is the durable log's accounting (absent when the store is
+	// memory-only).
+	WAL *WALStats `json:"wal,omitempty"`
 	// Config echoes the resolved loop configuration.
 	Config Config `json:"config"`
 }
@@ -282,10 +291,17 @@ type Controller struct {
 	lastAutoStart time.Time // cooldown anchor
 }
 
-// New builds a controller; zero Config fields select the defaults.
+// New builds a controller; zero Config fields select the defaults. When
+// Deps.WAL is set, the store is seeded from the log's recovered window —
+// stats, drift baseline and node attribution resume exactly where the
+// previous process stopped.
 func New(cfg Config, deps Deps) *Controller {
 	cfg = cfg.withDefaults()
-	return &Controller{cfg: cfg, deps: deps, obs: newStore(cfg.Capacity)}
+	c := &Controller{cfg: cfg, deps: deps, obs: newStore(cfg.Capacity)}
+	if deps.WAL != nil {
+		c.obs.restore(deps.WAL.Recovered())
+	}
+	return c
 }
 
 // Config returns the resolved loop configuration.
@@ -305,6 +321,11 @@ func (c *Controller) Observe(o Observation) (IngestResult, error) {
 	}
 	o.At = time.Now().UTC()
 	c.obs.add(o)
+	if c.deps.WAL != nil {
+		// A log failure degrades durability, not serving: the in-memory
+		// ingest stands and the error is visible in Status().WAL.
+		_ = c.deps.WAL.Append(o)
+	}
 	c.mu.Lock()
 	c.sinceRetrain++
 	c.mu.Unlock()
@@ -574,6 +595,10 @@ func (c *Controller) Status() Status {
 		Store:   c.obs.stats(),
 		Retrain: c.snapshotState(),
 		Config:  c.cfg,
+	}
+	if c.deps.WAL != nil {
+		ws := c.deps.WAL.Stats()
+		st.WAL = &ws
 	}
 	if pred, version, ok := c.deps.Current(); ok {
 		st.ModelVersion = version

@@ -1,0 +1,160 @@
+package adapt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+)
+
+// TestConcurrentIngestSpoolRetrainRace drives the three durability actors
+// at once — WAL-backed Observe ingest (with auto-retrain firing under it),
+// a producer enqueueing into a disk-backed spool, and a flusher draining it
+// with Pending/Ack — plus a Status poller. Run with -race this is the
+// durability layer's concurrency check; the final state asserts nothing
+// was lost or double-counted on either log.
+func TestConcurrentIngestSpoolRetrainRace(t *testing.T) {
+	walDir, spoolDir := t.TempDir(), t.TempDir()
+	wal, err := OpenWAL(WALConfig{Dir: walDir, Capacity: 64, SegmentRecords: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRig(t, constModels(t, 1, 1), registry.Training{})
+	deps := r.deps(fakeTrainer{models: constModels(t, 1, 1)})
+	deps.WAL = wal
+	c := New(Config{
+		Auto:       true,
+		MinSamples: 4,
+		// Tiny pinned baselines: every wild observation is drift, so
+		// retrains keep starting while ingest continues.
+		BaselineSpeedup: 0.01,
+		BaselineEnergy:  0.01,
+		Cooldown:        10 * time.Millisecond,
+	}, deps)
+
+	spool, err := OpenSpool(spoolDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		ingests  = 200
+		enqueues = 150
+	)
+	var wg sync.WaitGroup
+
+	// Actor 1: observation ingest — every Observe appends to the WAL and
+	// may kick off a background retrain through the fake trainer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < ingests; i++ {
+			if _, err := c.Observe(obs(5, 5)); err != nil {
+				t.Errorf("observe %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	// Actor 2: spool producer (an agent's failing forward path).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < enqueues; i++ {
+			o := obs(1, 1)
+			o.Kernel = fmt.Sprintf("s%03d", i)
+			if err := spool.Enqueue(o); err != nil {
+				t.Errorf("enqueue %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	// Actor 3: spool flusher (the heal path) — drains concurrently with
+	// the producer and must preserve order and count.
+	flushed := make([]Observation, 0, enqueues)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for len(flushed) < enqueues {
+			batch := spool.Pending(16)
+			if len(batch) == 0 {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			if err := spool.Ack(len(batch)); err != nil {
+				t.Errorf("ack: %v", err)
+				return
+			}
+			flushed = append(flushed, batch...)
+		}
+	}()
+
+	// Actor 4: status poller (the /healthz and /adapt/status surface). It
+	// runs until the other actors finish, so it is not in their WaitGroup.
+	stop := make(chan struct{})
+	pollerDone := make(chan struct{})
+	go func() {
+		defer close(pollerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = c.Status()
+			_ = wal.Stats()
+			_ = spool.Stats()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	actors := make(chan struct{})
+	go func() { wg.Wait(); close(actors) }()
+	select {
+	case <-actors:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("concurrent durability actors did not finish")
+	}
+	close(stop)
+	<-pollerDone
+
+	// Spool: everything the producer wrote came out exactly once, in order.
+	if len(flushed) != enqueues {
+		t.Fatalf("flushed %d spooled observations, want %d", len(flushed), enqueues)
+	}
+	for i, o := range flushed {
+		if want := fmt.Sprintf("s%03d", i); o.Kernel != want {
+			t.Fatalf("flush position %d holds %s, want %s (order lost)", i, o.Kernel, want)
+		}
+	}
+	if d := spool.Depth(); d != 0 {
+		t.Fatalf("spool depth %d after full drain, want 0", d)
+	}
+	if err := spool.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// WAL: the full ingest stream was logged; a reopen recovers exactly the
+	// capacity-bounded window with the true lifetime total.
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wal2, err := OpenWAL(WALConfig{Dir: walDir, Capacity: 64, SegmentRecords: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal2.Close()
+	recovered, total := wal2.Recovered()
+	if total != ingests {
+		t.Fatalf("WAL lifetime total %d after concurrent ingest, want %d", total, ingests)
+	}
+	if len(recovered) < 64 || len(recovered) > 64+16 {
+		t.Fatalf("WAL recovered %d observations, want the ~64-capacity window (segment-granular)", len(recovered))
+	}
+	if st := c.Status(); st.Store.Total != ingests {
+		t.Fatalf("store ingested %d observations, want %d", st.Store.Total, ingests)
+	}
+}

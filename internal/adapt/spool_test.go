@@ -1,0 +1,179 @@
+package adapt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSpoolMemoryMode pins the dirless fallback: a plain in-order queue.
+func TestSpoolMemoryMode(t *testing.T) {
+	s, err := OpenSpool("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		if err := s.Enqueue(walObs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Depth() != 5 {
+		t.Fatalf("depth %d, want 5", s.Depth())
+	}
+	batch := s.Pending(3)
+	if len(batch) != 3 || batch[0].Kernel != "k0" || batch[2].Kernel != "k2" {
+		t.Fatalf("pending batch %v, want k0..k2 in order", batch)
+	}
+	if err := s.Ack(3); err != nil {
+		t.Fatal(err)
+	}
+	rest := s.Pending(0)
+	if len(rest) != 2 || rest[0].Kernel != "k3" {
+		t.Fatalf("queue after ack %v, want k3,k4", rest)
+	}
+	st := s.Stats()
+	if st.Depth != 2 || st.Enqueued != 5 || st.Flushed != 3 {
+		t.Fatalf("stats %+v, want depth 2, enqueued 5, flushed 3", st)
+	}
+}
+
+// TestSpoolPersistsAcrossReopen is the disk-backed contract: queued
+// observations and the ack offset survive a process boundary, order
+// intact.
+func TestSpoolPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := s.Enqueue(walObs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Ack(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := s2.Pending(0)
+	if len(got) != 4 {
+		t.Fatalf("reopened spool holds %d observations, want 4", len(got))
+	}
+	for i, o := range got {
+		if want := walObs(i + 2); o.Kernel != want.Kernel {
+			t.Fatalf("position %d holds %s, want %s (order or ack offset lost)", i, o.Kernel, want.Kernel)
+		}
+	}
+	if st := s2.Stats(); st.Enqueued != 6 || st.Flushed != 2 {
+		t.Fatalf("stats after reopen %+v, want enqueued 6, flushed 2", st)
+	}
+}
+
+// TestSpoolDrainCompacts proves a fully flushed spool leaves no disk
+// footprint behind: the file is emptied and the ack offset removed.
+func TestSpoolDrainCompacts(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Enqueue(walObs(0), walObs(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ack(2); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, spoolFile)); err != nil || fi.Size() != 0 {
+		t.Fatalf("drained spool file not compacted: %v, %v", fi, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ackFile)); !os.IsNotExist(err) {
+		t.Fatal("drained spool left its ack file behind")
+	}
+	// The compacted spool must keep working.
+	if err := s.Enqueue(walObs(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Pending(0); len(got) != 1 || got[0].Kernel != "k2" {
+		t.Fatalf("queue after compaction %v, want just k2", got)
+	}
+}
+
+// TestSpoolCorruptTailTruncated proves a torn last record (crash mid-write)
+// costs only that record: the valid prefix replays.
+func TestSpoolCorruptTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Enqueue(walObs(0), walObs(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, spoolFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kernel":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := OpenSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Pending(0); len(got) != 2 {
+		t.Fatalf("recovered %d observations past a torn tail, want 2", len(got))
+	}
+	if !s2.Stats().Truncated {
+		t.Fatal("stats do not report the truncation")
+	}
+}
+
+// TestSpoolAckAheadOfLogClamped covers the crash window where the ack
+// offset was committed but the tail it refers to was torn: the offset is
+// clamped instead of panicking or going negative.
+func TestSpoolAckAheadOfLogClamped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Enqueue(walObs(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ackFile), []byte("999"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if d := s2.Depth(); d != 0 {
+		t.Fatalf("depth %d with ack ahead of the log, want 0", d)
+	}
+	if err := s2.Enqueue(walObs(1)); err != nil {
+		t.Fatal(err)
+	}
+	if d := s2.Depth(); d != 1 {
+		t.Fatalf("depth %d after enqueue, want 1", d)
+	}
+}

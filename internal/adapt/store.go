@@ -131,6 +131,28 @@ func (s *store) nodeDelta(node string, d int) {
 	}
 }
 
+// restore seeds the ring from a WAL replay: obs is the recovered window
+// (oldest first, at most capacity entries) and total the lifetime ingest
+// count the log recorded. The ring invariant dropped = total - count makes
+// the full pre-crash accounting reconstructible from just those two —
+// replay is bit-identical to having ingested every observation live.
+func (s *store) restore(obs []Observation, total int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(obs); n > len(s.buf) {
+		obs = obs[n-len(s.buf):]
+	}
+	copy(s.buf, obs)
+	s.start = 0
+	s.count = len(obs)
+	s.total = total
+	s.dropped = total - s.count
+	s.nodes = map[string]int{}
+	for _, o := range obs {
+		s.nodeDelta(o.Node, 1)
+	}
+}
+
 // snapshot copies the held observations out, oldest first.
 func (s *store) snapshot() []Observation {
 	s.mu.Lock()

@@ -15,7 +15,15 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/engine"
 	"repro/internal/registry"
+	"repro/internal/resilience"
 )
+
+// DefaultDegradedAfter is how long the control plane must be continuously
+// unreachable before the agent flags itself degraded on /healthz.
+const DefaultDegradedAfter = 3 * DefaultSyncInterval
+
+// spoolFlushBatch bounds one forwarding RPC during a spool flush.
+const spoolFlushBatch = 64
 
 // AgentConfig wires a node agent to its serving stack and its control
 // plane. Node, Device, Control, Store, Engine, and Serving are required.
@@ -41,6 +49,18 @@ type AgentConfig struct {
 	Engine *engine.Engine
 	// Serving is the hot-swap holder the agent's read plane serves from.
 	Serving *registry.Serving
+	// Spool queues observations that fail to forward until the control
+	// plane is reachable again (nil = an in-memory spool; cmd/gpufreqd
+	// wires a disk-backed one via -spool-dir). Nothing is ever dropped:
+	// a failed forward enqueues, a successful sync flushes in order.
+	Spool *adapt.Spool
+	// Retry is the backoff policy shared by observation forwarding (full
+	// Do with retries) and the heartbeat loop (Backoff between failed
+	// syncs). The zero value uses the resilience defaults.
+	Retry resilience.Retryer
+	// DegradedAfter flags the agent degraded once the control plane has
+	// been continuously unreachable this long (0 = DefaultDegradedAfter).
+	DegradedAfter time.Duration
 }
 
 // AgentStatus is the agent's fleet-sync state, reported on /healthz in
@@ -65,6 +85,18 @@ type AgentStatus struct {
 	LastSync time.Time `json:"last_sync,omitempty"`
 	// LastError is the most recent sync failure ("" after a success).
 	LastError string `json:"last_error,omitempty"`
+	// Spool is the forward spool's accounting: SpoolDepth observations are
+	// queued awaiting a reachable control plane.
+	Spool adapt.SpoolStats `json:"spool"`
+	// SyncBackoffSeconds is the jittered wait before the next heartbeat
+	// while syncs are failing (0 when healthy — the loop runs on the
+	// regular interval).
+	SyncBackoffSeconds float64 `json:"sync_backoff_seconds,omitempty"`
+	// FailingSince is when the current run of sync failures started (zero
+	// when the last sync succeeded); Degraded is set once that run exceeds
+	// the configured threshold.
+	FailingSince time.Time `json:"failing_since,omitempty"`
+	Degraded     bool      `json:"degraded"`
 }
 
 // Agent is the node-side half of the fleet: it registers with (and
@@ -76,14 +108,18 @@ type AgentStatus struct {
 type Agent struct {
 	cfg AgentConfig
 
-	mu        sync.Mutex
-	version   string
-	hash      string
-	bootstrap *BootstrapInfo
-	syncs     int
-	installs  int
-	lastSync  time.Time
-	lastError string
+	flushMu sync.Mutex // serializes spool flushes so delivery stays in order
+
+	mu           sync.Mutex
+	version      string
+	hash         string
+	bootstrap    *BootstrapInfo
+	syncs        int
+	installs     int
+	lastSync     time.Time
+	lastError    string
+	failingSince time.Time     // start of the current run of sync failures
+	backoff      time.Duration // current failure backoff (0 when healthy)
 }
 
 // NewAgent validates the configuration and returns an agent; no network
@@ -102,10 +138,21 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: 10 * time.Second}
 	}
+	if cfg.Spool == nil {
+		// Every agent spools: without a directory the queue is in-memory,
+		// surviving a partition (though not a process crash).
+		cfg.Spool, _ = adapt.OpenSpool("")
+	}
+	if cfg.DegradedAfter <= 0 {
+		cfg.DegradedAfter = DefaultDegradedAfter
+	}
 	return &Agent{cfg: cfg}, nil
 }
 
-// Status reports the agent's sync state.
+// Status reports the agent's sync state, including the degraded-mode
+// fields operators alert on: spool depth, current sync backoff, and the
+// degraded flag once the control plane has been unreachable past the
+// threshold.
 func (a *Agent) Status() AgentStatus {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -114,6 +161,10 @@ func (a *Agent) Status() AgentStatus {
 		Version: a.version, Hash: a.hash, Bootstrap: a.bootstrap,
 		Syncs: a.syncs, Installs: a.installs,
 		LastSync: a.lastSync, LastError: a.lastError,
+		Spool:              a.cfg.Spool.Stats(),
+		SyncBackoffSeconds: a.backoff.Seconds(),
+		FailingSince:       a.failingSince,
+		Degraded:           !a.failingSince.IsZero() && time.Since(a.failingSince) >= a.cfg.DegradedAfter,
 	}
 }
 
@@ -160,31 +211,67 @@ func (a *Agent) recordSync(err error) {
 	a.syncs++
 	if err != nil {
 		a.lastError = err.Error()
+		if a.failingSince.IsZero() {
+			a.failingSince = time.Now().UTC()
+		}
 		return
 	}
 	a.lastError = ""
+	a.failingSince = time.Time{}
 	a.lastSync = time.Now().UTC()
 }
 
 // Run heartbeats until the context is cancelled. interval <= 0 follows
 // the control plane's advertised SyncSeconds (falling back to
-// DefaultSyncInterval until the first successful round trip). Sync errors
-// are recorded in Status and retried on the next tick.
+// DefaultSyncInterval until the first successful round trip). A failed
+// sync is retried on exponential backoff with full jitter instead of the
+// regular tick — a whole fleet that lost its control plane reconnects
+// spread out, not as a thundering herd — and a successful sync flushes
+// the observation spool (the reconnect signal). Cancellation is honored
+// both during an in-flight Sync (the request context aborts it) and at
+// the loop top, so a post-cancel tick never fires one more sync.
 func (a *Agent) Run(ctx context.Context, interval time.Duration) {
+	attempt := 0
 	for {
-		wait := interval
+		if ctx.Err() != nil {
+			return
+		}
 		resp, err := a.Sync(ctx)
-		if wait <= 0 {
-			wait = DefaultSyncInterval
-			if err == nil && resp.SyncSeconds > 0 {
-				wait = time.Duration(resp.SyncSeconds * float64(time.Second))
+		if ctx.Err() != nil {
+			return
+		}
+		var wait time.Duration
+		if err != nil {
+			wait = a.cfg.Retry.Backoff(attempt)
+			attempt++
+		} else {
+			attempt = 0
+			a.FlushSpool(ctx)
+			if wait = interval; wait <= 0 {
+				wait = DefaultSyncInterval
+				if resp.SyncSeconds > 0 {
+					wait = time.Duration(resp.SyncSeconds * float64(time.Second))
+				}
 			}
 		}
+		a.setBackoff(err, wait)
 		select {
 		case <-ctx.Done():
 			return
 		case <-time.After(wait):
 		}
+	}
+}
+
+// setBackoff records the current failure backoff for Status (0 while
+// healthy — the regular interval is pacing, not backoff).
+func (a *Agent) setBackoff(err error, wait time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err != nil {
+		a.backoff = wait
+	} else {
+		a.backoff = 0
 	}
 }
 
@@ -263,11 +350,65 @@ func (a *Agent) HandleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 // Forward sends a batch of locally reported observations to the control
-// plane's aggregator and returns its per-observation verdicts.
-func (a *Agent) Forward(ctx context.Context, obs []adapt.Observation) (*ObserveResponse, error) {
+// plane's aggregator, retrying transient failures with backoff. When
+// delivery still fails — or earlier observations are already spooled, in
+// which case delivering the new batch first would reorder the stream —
+// the batch is enqueued in the spool and delivered by a later flush:
+// spooled > 0 (with resp nil) means "accepted locally, queued". An error
+// is returned only when the batch could neither be delivered nor spooled.
+func (a *Agent) Forward(ctx context.Context, obs []adapt.Observation) (resp *ObserveResponse, spooled int, err error) {
+	if a.cfg.Spool.Depth() > 0 {
+		if err := a.cfg.Spool.Enqueue(obs...); err != nil {
+			return nil, 0, err
+		}
+		// Opportunistic drain: if the control plane is already back, the
+		// queue (including this batch) goes out now instead of waiting for
+		// the next heartbeat.
+		a.FlushSpool(ctx)
+		return nil, len(obs), nil
+	}
+	r, derr := a.deliver(ctx, obs)
+	if derr == nil {
+		return r, 0, nil
+	}
+	if err := a.cfg.Spool.Enqueue(obs...); err != nil {
+		return nil, 0, fmt.Errorf("fleet: forward failed (%v) and spooling failed: %w", derr, err)
+	}
+	return nil, len(obs), nil
+}
+
+// FlushSpool delivers queued observations to the control plane, oldest
+// first in bounded batches, until the spool drains or a delivery fails.
+// Flushes serialize so the stream order is preserved. It returns how many
+// observations were delivered.
+func (a *Agent) FlushSpool(ctx context.Context) (flushed int) {
+	a.flushMu.Lock()
+	defer a.flushMu.Unlock()
+	for {
+		batch := a.cfg.Spool.Pending(spoolFlushBatch)
+		if len(batch) == 0 {
+			return flushed
+		}
+		if _, err := a.deliver(ctx, batch); err != nil {
+			return flushed
+		}
+		// Ack only what was delivered; observations enqueued concurrently
+		// stay queued for the next round of the loop.
+		if err := a.cfg.Spool.Ack(len(batch)); err != nil {
+			return flushed
+		}
+		flushed += len(batch)
+	}
+}
+
+// deliver is one forwarding RPC under the retry policy.
+func (a *Agent) deliver(ctx context.Context, obs []adapt.Observation) (*ObserveResponse, error) {
 	req := ObserveRequest{Node: a.cfg.Node, Device: a.cfg.Device, Observations: obs}
 	var resp ObserveResponse
-	if err := a.postJSON(ctx, "/fleet/observe", req, &resp); err != nil {
+	err := a.cfg.Retry.Do(ctx, func(ctx context.Context) error {
+		return a.postJSON(ctx, "/fleet/observe", req, &resp)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return &resp, nil

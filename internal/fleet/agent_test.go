@@ -258,10 +258,13 @@ func TestAgentForwardsObservations(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	resp, err := rig.agent.Forward(context.Background(),
+	resp, spooled, err := rig.agent.Forward(context.Background(),
 		[]adapt.Observation{obsFor(1, 1), obsFor(0.9, 1.1)})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if spooled != 0 {
+		t.Fatalf("spooled %d observations on a healthy control plane, want direct delivery", spooled)
 	}
 	if len(resp.Results) != 2 || resp.Results[0].Error != "" || resp.Results[1].Error != "" {
 		t.Fatalf("forward results: %+v", resp.Results)

@@ -47,6 +47,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/nvml"
 	"repro/internal/registry"
+	"repro/internal/resilience"
 )
 
 // DefaultSyncInterval is the heartbeat interval the control plane
@@ -79,6 +80,12 @@ type ControlConfig struct {
 	// SyncInterval is the heartbeat interval advertised to agents
 	// (0 = DefaultSyncInterval).
 	SyncInterval time.Duration
+	// BreakerThreshold and BreakerCooldown tune the per-node push circuit
+	// breakers (0 = resilience defaults): after BreakerThreshold consecutive
+	// push failures a node is skipped by fan-out rounds until BreakerCooldown
+	// elapses and a probe push succeeds.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 	// LocalDevice names the device the hosting process serves itself, if
 	// any. Observations forwarded for it are routed to LocalObserve (the
 	// host's own adaptation loop) instead of a fleet controller, and
@@ -143,6 +150,10 @@ type Control struct {
 	store *registry.Store
 	cfg   ControlConfig
 
+	// breakers holds one push circuit breaker per node, so one dead agent
+	// cannot slow every fan-out round down by its full connect timeout.
+	breakers *resilience.BreakerSet
+
 	mu    sync.Mutex
 	nodes map[string]*nodeState
 	devs  map[string]*deviceState
@@ -152,9 +163,14 @@ type Control struct {
 // hosting daemon's own registry, so locally trained versions and
 // fleet-retrained versions live in one place).
 func NewControl(store *registry.Store, cfg ControlConfig) *Control {
+	cfg = cfg.withDefaults()
 	return &Control{
 		store: store,
-		cfg:   cfg.withDefaults(),
+		cfg:   cfg,
+		breakers: &resilience.BreakerSet{
+			FailureThreshold: cfg.BreakerThreshold,
+			Cooldown:         cfg.BreakerCooldown,
+		},
 		nodes: map[string]*nodeState{},
 		devs:  map[string]*deviceState{},
 	}
@@ -424,6 +440,7 @@ func (c *Control) Nodes() []NodeInfo {
 			man, err := c.store.GetManifest(out[i].Device, st.Version)
 			out[i].Synced = err == nil && man.Hash == out[i].Hash
 		}
+		out[i].Breaker = c.breakers.State(out[i].Node)
 	}
 	sortNodes(out)
 	return out
@@ -461,15 +478,27 @@ func (c *Control) PushDevice(ctx context.Context, device string) PushReport {
 	}
 
 	c.mu.Lock()
-	var targets []NodeInfo
+	var stale []NodeInfo
 	for _, ns := range c.nodes {
 		if ns.info.Device == device && ns.info.Hash != man.Hash && ns.info.Addr != "" {
-			targets = append(targets, ns.info)
+			stale = append(stale, ns.info)
 		}
 	}
 	c.mu.Unlock()
 
-	report.Targets = len(targets)
+	// Targets counts every stale node considered; nodes whose breaker is
+	// open are skipped without contact so a dead agent never delays the
+	// healthy rest of the round. A skipped node still converges via its own
+	// heartbeat, or via the breaker's probe once the cool-down elapses.
+	report.Targets = len(stale)
+	var targets []NodeInfo
+	for _, n := range stale {
+		if c.breakers.Get(n.Node).Allow() {
+			targets = append(targets, n)
+		} else {
+			report.Skipped++
+		}
+	}
 	type outcome struct {
 		node string
 		resp SnapshotResponse
@@ -484,6 +513,7 @@ func (c *Control) PushDevice(ctx context.Context, device string) PushReport {
 	}
 	for range targets {
 		o := <-results
+		c.breakers.Get(o.node).Record(o.err)
 		c.mu.Lock()
 		ns := c.nodes[o.node]
 		if ns != nil {
@@ -520,6 +550,7 @@ func (c *Control) PushAll(ctx context.Context) PushReport {
 		r := c.PushDevice(ctx, d)
 		report.Targets += r.Targets
 		report.Pushed += r.Pushed
+		report.Skipped += r.Skipped
 		report.Errors = append(report.Errors, r.Errors...)
 	}
 	return report

@@ -16,6 +16,10 @@ var ErrSevered = errors.New("fleettest: link severed")
 // with (DropNext).
 var ErrDropped = errors.New("fleettest: request dropped")
 
+// ErrFlaky is the transport error a Flaky link's failing share of requests
+// fails with.
+var ErrFlaky = errors.New("fleettest: flaky link")
+
 // Chaos is a fault-injecting http.RoundTripper for fleet tests. Faults
 // are keyed by destination host ("127.0.0.1:PORT" — req.URL.Host), so one
 // Chaos can shape every link its client talks over independently.
@@ -28,18 +32,25 @@ var ErrDropped = errors.New("fleettest: request dropped")
 // what Cluster.Partition does — partitions exactly that node while the
 // rest of the fleet keeps flowing.
 //
-// Three fault shapes compose, checked in this order per request: a
-// severed link fails every request with ErrSevered until healed; DropNext
-// eats the next n requests (transient loss, e.g. exactly one missed push)
-// with ErrDropped; Delay sleeps before forwarding (slow link). All
-// methods are safe for concurrent use with in-flight requests.
+// Five fault shapes compose, checked in this order per request: a severed
+// link fails every request with ErrSevered until healed; SlowForever
+// blocks until the request's own context gives up (a black-holed peer —
+// the worst case for anything without a timeout); DropNext eats the next n
+// requests (transient loss, e.g. exactly one missed push) with ErrDropped;
+// Flaky fails a deterministic percentage of requests with ErrFlaky (lossy
+// link — what retries exist to survive); Delay sleeps before forwarding
+// (slow link). All methods are safe for concurrent use with in-flight
+// requests.
 type Chaos struct {
 	base http.RoundTripper
 
-	mu      sync.Mutex
-	severed map[string]bool
-	drops   map[string]int
-	delays  map[string]time.Duration
+	mu       sync.Mutex
+	severed  map[string]bool
+	slow     map[string]bool
+	drops    map[string]int
+	flaky    map[string]int // fail percentage, 1..100
+	flakyAcc map[string]int // error-diffusion accumulator
+	delays   map[string]time.Duration
 }
 
 // NewChaos wraps a base transport (nil = http.DefaultTransport) with
@@ -49,10 +60,13 @@ func NewChaos(base http.RoundTripper) *Chaos {
 		base = http.DefaultTransport
 	}
 	return &Chaos{
-		base:    base,
-		severed: map[string]bool{},
-		drops:   map[string]int{},
-		delays:  map[string]time.Duration{},
+		base:     base,
+		severed:  map[string]bool{},
+		slow:     map[string]bool{},
+		drops:    map[string]int{},
+		flaky:    map[string]int{},
+		flakyAcc: map[string]int{},
+		delays:   map[string]time.Duration{},
 	}
 }
 
@@ -69,8 +83,37 @@ func (c *Chaos) Heal(host string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.severed, host)
+	delete(c.slow, host)
 	delete(c.drops, host)
+	delete(c.flaky, host)
+	delete(c.flakyAcc, host)
 	delete(c.delays, host)
+}
+
+// Flaky makes the given percentage (1..100) of requests to host fail with
+// ErrFlaky, spread evenly over the request stream (error diffusion, so 50
+// alternates fail/pass rather than failing a burst); 0 removes the fault.
+func (c *Chaos) Flaky(host string, percent int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if percent <= 0 {
+		delete(c.flaky, host)
+		delete(c.flakyAcc, host)
+		return
+	}
+	if percent > 100 {
+		percent = 100
+	}
+	c.flaky[host] = percent
+}
+
+// SlowForever black-holes the link to host: every request blocks until its
+// own context is cancelled, then fails with that context's error. It is
+// the fault shape only timeouts can save a caller from.
+func (c *Chaos) SlowForever(host string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slow[host] = true
 }
 
 // DropNext makes the next n requests to host fail with ErrDropped.
@@ -98,10 +141,21 @@ func (c *Chaos) RoundTrip(req *http.Request) (*http.Response, error) {
 	host := req.URL.Host
 	c.mu.Lock()
 	severed := c.severed[host]
+	slow := !severed && c.slow[host]
 	drop := false
-	if !severed && c.drops[host] > 0 {
+	if !severed && !slow && c.drops[host] > 0 {
 		c.drops[host]--
 		drop = true
+	}
+	flake := false
+	if !severed && !slow && !drop {
+		if pct := c.flaky[host]; pct > 0 {
+			c.flakyAcc[host] += pct
+			if c.flakyAcc[host] >= 100 {
+				c.flakyAcc[host] -= 100
+				flake = true
+			}
+		}
 	}
 	delay := c.delays[host]
 	c.mu.Unlock()
@@ -109,8 +163,15 @@ func (c *Chaos) RoundTrip(req *http.Request) (*http.Response, error) {
 	if severed {
 		return nil, fmt.Errorf("%w: %s", ErrSevered, host)
 	}
+	if slow {
+		<-req.Context().Done()
+		return nil, fmt.Errorf("fleettest: slow link %s: %w", host, req.Context().Err())
+	}
 	if drop {
 		return nil, fmt.Errorf("%w: %s", ErrDropped, host)
+	}
+	if flake {
+		return nil, fmt.Errorf("%w: %s", ErrFlaky, host)
 	}
 	if delay > 0 {
 		time.Sleep(delay)

@@ -28,6 +28,7 @@ import (
 	"repro/internal/nvml"
 	"repro/internal/policy"
 	"repro/internal/registry"
+	"repro/internal/resilience"
 )
 
 // Options tunes a test cluster. The zero value selects a small, fast
@@ -44,6 +45,10 @@ type Options struct {
 	TrainKernels []core.TrainingKernel
 	// Trainer optionally injects a fake trainer into the control plane.
 	Trainer func(device string, eng *engine.Engine) adapt.Trainer
+	// BreakerThreshold and BreakerCooldown tune the control plane's
+	// per-node push circuit breakers (0 = resilience defaults).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 }
 
 // withDefaults resolves the zero values.
@@ -75,7 +80,9 @@ type Node struct {
 	// Chaos shapes this node's agent→control link.
 	Chaos *Chaos
 
-	srv *http.Server
+	srv      *http.Server
+	spool    *adapt.Spool
+	spoolDir string
 }
 
 // Cluster is a control plane plus its nodes, all in-process.
@@ -107,11 +114,13 @@ func NewCluster(tb testing.TB, opts Options) *Cluster {
 	}
 	chaos := NewChaos(nil)
 	control := fleet.NewControl(store, fleet.ControlConfig{
-		Opts:         opts.Engine,
-		Adapt:        opts.Adapt,
-		TrainKernels: opts.TrainKernels,
-		Trainer:      opts.Trainer,
-		Client:       &http.Client{Transport: chaos, Timeout: 5 * time.Second},
+		Opts:             opts.Engine,
+		Adapt:            opts.Adapt,
+		TrainKernels:     opts.TrainKernels,
+		Trainer:          opts.Trainer,
+		Client:           &http.Client{Transport: chaos, Timeout: 5 * time.Second},
+		BreakerThreshold: opts.BreakerThreshold,
+		BreakerCooldown:  opts.BreakerCooldown,
 	})
 
 	mux := http.NewServeMux()
@@ -130,14 +139,22 @@ func NewCluster(tb testing.TB, opts Options) *Cluster {
 }
 
 // serve starts an HTTP server on a fresh 127.0.0.1:0 listener and
-// registers its shutdown with tb.Cleanup.
+// registers its shutdown with tb.Cleanup. The server carries the same
+// timeout classes production does, so harness servers shed stalled clients
+// instead of leaking their connections across a whole test binary.
 func serve(tb testing.TB, handler http.Handler) (*http.Server, string) {
 	tb.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		tb.Fatal(err)
 	}
-	srv := &http.Server{Handler: handler}
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 2 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       30 * time.Second,
+	}
 	go srv.Serve(ln)
 	tb.Cleanup(func() { srv.Close() })
 	return srv, "http://" + ln.Addr().String()
@@ -154,8 +171,18 @@ func engineFor(tb testing.TB, device string, opts engine.Options) *engine.Engine
 }
 
 // AddNode starts an agent for a device on its own listener and registers
-// it with the cluster (not yet with the control plane — call Sync).
+// it with the cluster (not yet with the control plane — call Sync). The
+// agent's spool is memory-mode; use AddNodeSpool for one that survives
+// RestartNode.
 func (c *Cluster) AddNode(name, device string) *Node {
+	c.tb.Helper()
+	return c.AddNodeSpool(name, device, "")
+}
+
+// AddNodeSpool is AddNode with a disk-backed observation spool in
+// spoolDir ("" = memory-mode). RestartNode reopens the same directory, so
+// spooled observations survive the restart like a real agent's would.
+func (c *Cluster) AddNodeSpool(name, device, spoolDir string) *Node {
 	c.tb.Helper()
 	store, err := registry.Open("")
 	if err != nil {
@@ -163,11 +190,18 @@ func (c *Cluster) AddNode(name, device string) *Node {
 	}
 	n := &Node{
 		Name: name, Device: device,
-		Store:   store,
-		Engine:  engineFor(c.tb, device, c.opts.Engine),
-		Serving: registry.NewServing(),
-		Chaos:   NewChaos(nil),
+		Store:    store,
+		Engine:   engineFor(c.tb, device, c.opts.Engine),
+		Serving:  registry.NewServing(),
+		Chaos:    NewChaos(nil),
+		spoolDir: spoolDir,
 	}
+	spool, err := adapt.OpenSpool(spoolDir)
+	if err != nil {
+		c.tb.Fatal(err)
+	}
+	n.spool = spool
+	c.tb.Cleanup(func() { spool.Close() })
 
 	mux := http.NewServeMux()
 	agentReady := make(chan struct{})
@@ -186,6 +220,10 @@ func (c *Cluster) AddNode(name, device string) *Node {
 		Node: name, Addr: n.URL, Device: device, Control: c.ControlURL,
 		Client: &http.Client{Transport: n.Chaos, Timeout: 5 * time.Second},
 		Store:  store, Engine: n.Engine, Serving: n.Serving,
+		Spool: spool,
+		// Fast retries: tests inject faults that fail instantly, so real
+		// backoff delays would only slow the suite down.
+		Retry: resilience.Retryer{MaxAttempts: 2, BaseDelay: 2 * time.Millisecond, MaxDelay: 10 * time.Millisecond},
 	})
 	if err != nil {
 		c.tb.Fatal(err)
@@ -208,6 +246,9 @@ func (c *Cluster) StopNode(name string) {
 	c.mu.Unlock()
 	if n != nil {
 		n.srv.Close()
+		// Release the spool's file handle so a restarted node (same spool
+		// directory) replays it as the only writer.
+		n.spool.Close()
 	}
 }
 
@@ -223,9 +264,9 @@ func (c *Cluster) RestartNode(name string) *Node {
 	if old == nil {
 		c.tb.Fatalf("RestartNode: unknown node %s", name)
 	}
-	device := old.Device
+	device, spoolDir := old.Device, old.spoolDir
 	c.StopNode(name)
-	return c.AddNode(name, device)
+	return c.AddNodeSpool(name, device, spoolDir)
 }
 
 // Partition severs both directions of a node's connectivity: its

@@ -1,0 +1,275 @@
+package fleettest
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/features"
+	"repro/internal/fleet"
+	"repro/internal/freq"
+	"repro/internal/registry"
+	"repro/internal/resilience"
+)
+
+// testObs builds a valid observation with a distinct kernel name (so order
+// is checkable) and the given measured objectives.
+func testObs(i int, speedup, energy float64) adapt.Observation {
+	var st features.Static
+	st[0] = 0.5
+	return adapt.Observation{
+		Kernel:     fmt.Sprintf("k%02d", i),
+		Features:   st,
+		Config:     freq.Config{Mem: 3505, Core: 1000},
+		Speedup:    speedup,
+		NormEnergy: energy,
+	}
+}
+
+// TestPartitionSpoolRestartFlush is the durability acceptance test: a
+// partitioned agent spools every observation it cannot forward, the spool
+// survives an agent crash (disk-backed, same directory on restart), and on
+// heal the queue flushes in order with nothing lost — after which the
+// control plane's fleet drift detector fires on the backlog exactly as if
+// the partition had never happened.
+func TestPartitionSpoolRestartFlush(t *testing.T) {
+	ctx := context.Background()
+	cl := NewCluster(t, Options{Adapt: adapt.Config{
+		MinSamples: 4, DriftFactor: 2,
+		BaselineSpeedup: 0.05, BaselineEnergy: 0.05,
+	}})
+	man := cl.PublishTrained("titanx", 0)
+	n := cl.AddNodeSpool("n1", "titanx", t.TempDir())
+	if _, err := n.Agent.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition, then keep reporting: every batch must be accepted into the
+	// spool (spooled count, nil response), never dropped, never an error.
+	cl.Partition(n)
+	for i := 0; i < 6; i += 2 {
+		resp, spooled, err := n.Agent.Forward(ctx,
+			[]adapt.Observation{testObs(i, 5, 5), testObs(i+1, 5, 5)})
+		if err != nil {
+			t.Fatalf("forward during partition: %v", err)
+		}
+		if spooled != 2 || resp != nil {
+			t.Fatalf("partitioned forward: spooled=%d resp=%v, want the batch spooled", spooled, resp)
+		}
+	}
+	if d := n.Agent.Status().Spool.Depth; d != 6 {
+		t.Fatalf("spool depth %d during partition, want 6", d)
+	}
+	for i, o := range n.spool.Pending(0) {
+		if want := fmt.Sprintf("k%02d", i); o.Kernel != want {
+			t.Fatalf("spool position %d holds %s, want %s (order lost)", i, o.Kernel, want)
+		}
+	}
+
+	// Crash the agent and restart it against the same spool directory: the
+	// queue must come back from disk. (The restarted node gets a fresh
+	// listener and fresh Chaos, i.e. the partition is healed.)
+	n = cl.RestartNode("n1")
+	if d := n.spool.Depth(); d != 6 {
+		t.Fatalf("restarted agent recovered %d spooled observations, want 6", d)
+	}
+
+	// Heal path: re-register, then flush. Everything arrives, in order, and
+	// the spool compacts back to empty.
+	if _, err := n.Agent.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if flushed := n.Agent.FlushSpool(ctx); flushed != 6 {
+		t.Fatalf("flushed %d observations on heal, want 6", flushed)
+	}
+	if d := n.Agent.Status().Spool.Depth; d != 0 {
+		t.Fatalf("spool depth %d after flush, want 0", d)
+	}
+	st, ok := cl.Control.AdaptStatus("titanx")
+	if !ok {
+		t.Fatal("control plane has no fleet controller for titanx")
+	}
+	if st.Store.Count != 6 || st.Store.Total != 6 || st.Store.Nodes["n1"] != 6 {
+		t.Fatalf("control-plane store after flush: %+v, want all 6 observations attributed to n1", st.Store)
+	}
+	// The backlog is wildly off the published model's predictions, so the
+	// fleet drift detector must fire on it.
+	if !st.Drift.Drift {
+		t.Fatalf("drift did not fire on the flushed backlog: %+v", st.Drift)
+	}
+	// The agent still serves the snapshot it had throughout.
+	if got := n.Agent.Status().Hash; got != man.Hash {
+		t.Fatalf("agent hash after heal %.8s, want %.8s", got, man.Hash)
+	}
+}
+
+// TestFlakyLinkForwardRetriesDeliver proves the retry layer absorbs a
+// lossy (not severed) link: with 50% of requests failing, forwarding still
+// delivers — directly when a retry lands, via the spool-then-flush path
+// when all of a call's attempts lose the coin toss. Either way nothing is
+// dropped.
+func TestFlakyLinkForwardRetriesDeliver(t *testing.T) {
+	ctx := context.Background()
+	cl := NewCluster(t, Options{})
+	cl.PublishTrained("titanx", 0)
+	n := cl.AddNode("n1", "titanx")
+	if _, err := n.Agent.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	n.Chaos.Flaky(hostOf(cl.ControlURL), 50)
+	total := 0
+	for i := 0; i < 8; i++ {
+		if _, _, err := n.Agent.Forward(ctx, []adapt.Observation{testObs(i, 1, 1)}); err != nil {
+			t.Fatalf("forward over flaky link: %v", err)
+		}
+		total++
+	}
+	n.Chaos.Heal(hostOf(cl.ControlURL))
+	n.Agent.FlushSpool(ctx)
+
+	st, ok := cl.Control.AdaptStatus("titanx")
+	if !ok || st.Store.Total != total {
+		t.Fatalf("control plane ingested %d observations over the flaky link, want %d", st.Store.Total, total)
+	}
+	if d := n.Agent.Status().Spool.Depth; d != 0 {
+		t.Fatalf("spool depth %d after heal+flush, want 0", d)
+	}
+}
+
+// TestBreakerSkipsDeadNodeWithoutDelayingFanout pins the push breaker's
+// contract: consecutive push failures to one node trip its breaker, after
+// which fan-out rounds skip it instantly — even when the dead node's link
+// has become a black hole that would otherwise stall the round for the
+// full client timeout — while healthy nodes keep converging, and the
+// skipped node still converges through its own heartbeat.
+func TestBreakerSkipsDeadNodeWithoutDelayingFanout(t *testing.T) {
+	ctx := context.Background()
+	cl := NewCluster(t, Options{BreakerThreshold: 2, BreakerCooldown: time.Hour})
+	cl.PublishTrained("titanx", 0)
+	n1 := cl.AddNode("n1", "titanx")
+	n2 := cl.AddNode("n2", "titanx")
+	n3 := cl.AddNode("n3", "titanx")
+	for _, n := range []*Node{n1, n2, n3} {
+		if _, err := n.Agent.Sync(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// n3 dies (control→agent only; its own heartbeats still work) and a new
+	// version is published.
+	cl.ControlChaos.Sever(hostOf(n3.URL))
+	man2 := cl.PublishTrained("titanx", 1)
+
+	// Round 1: the dead node fails, the healthy pair installs. Failure 1/2.
+	r := cl.Control.PushDevice(ctx, "titanx")
+	if r.Targets != 3 || r.Pushed != 2 || r.Skipped != 0 || len(r.Errors) != 1 {
+		t.Fatalf("round 1: %+v, want 2 pushed, 1 error, none skipped", r)
+	}
+
+	// Round 2: only n3 is still stale. Failure 2/2 trips its breaker.
+	r = cl.Control.PushDevice(ctx, "titanx")
+	if r.Targets != 1 || r.Pushed != 0 || r.Skipped != 0 || len(r.Errors) != 1 {
+		t.Fatalf("round 2: %+v, want 1 error on the dead node", r)
+	}
+
+	// Round 3: the link degrades from fail-fast to black hole — every
+	// contact would now hang until the push client's 5 s timeout. The open
+	// breaker must keep the round instant by not contacting n3 at all.
+	cl.ControlChaos.Heal(hostOf(n3.URL))
+	cl.ControlChaos.SlowForever(hostOf(n3.URL))
+	start := time.Now()
+	r = cl.Control.PushDevice(ctx, "titanx")
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("fan-out with a tripped breaker took %v — the dead node delayed the round", elapsed)
+	}
+	if r.Targets != 1 || r.Pushed != 0 || r.Skipped != 1 || len(r.Errors) != 0 {
+		t.Fatalf("round 3: %+v, want the dead node counted as skipped", r)
+	}
+
+	// The directory names the breaker state per node.
+	states := map[string]string{}
+	for _, info := range cl.Control.Nodes() {
+		states[info.Node] = info.Breaker
+	}
+	if states["n3"] != resilience.StateOpen || states["n1"] != resilience.StateClosed || states["n2"] != resilience.StateClosed {
+		t.Fatalf("breaker states %v, want n3 open and the rest closed", states)
+	}
+
+	// The pull path ignores push breakers: n3's own heartbeat converges it.
+	cl.ControlChaos.Heal(hostOf(n3.URL))
+	if _, err := n3.Agent.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := n3.Agent.Status().Hash; got != man2.Hash {
+		t.Fatalf("skipped node's heartbeat installed %.8s, want %.8s", got, man2.Hash)
+	}
+}
+
+// countTripper counts round trips before delegating.
+type countTripper struct {
+	base  http.RoundTripper
+	calls atomic.Int64
+}
+
+func (c *countTripper) RoundTrip(r *http.Request) (*http.Response, error) {
+	c.calls.Add(1)
+	return c.base.RoundTrip(r)
+}
+
+// TestAgentRunHonorsCancelDuringBlockedSync pins Run's cancellation
+// contract with a blocked transport: cancelling while a Sync is in flight
+// aborts the request and returns from Run without firing one more sync
+// after the cancel.
+func TestAgentRunHonorsCancelDuringBlockedSync(t *testing.T) {
+	cl := NewCluster(t, Options{})
+	cl.PublishTrained("titanx", 0)
+
+	chaos := NewChaos(nil)
+	chaos.SlowForever(hostOf(cl.ControlURL))
+	ct := &countTripper{base: chaos}
+	store, err := registry.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := fleet.NewAgent(fleet.AgentConfig{
+		Node: "blocked", Device: "titanx", Control: cl.ControlURL,
+		// No client timeout: only context cancellation can unblock the sync.
+		Client: &http.Client{Transport: ct},
+		Store:  store, Engine: engineFor(t, "titanx", cl.opts.Engine),
+		Serving: registry.NewServing(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		agent.Run(ctx, time.Millisecond)
+		close(done)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for ct.calls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("the first sync never reached the transport")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not return after cancel during a blocked sync")
+	}
+	calls := ct.calls.Load()
+	time.Sleep(50 * time.Millisecond)
+	if got := ct.calls.Load(); got != calls {
+		t.Fatalf("a sync fired after cancellation (%d -> %d round trips)", calls, got)
+	}
+}

@@ -127,6 +127,10 @@ type NodeInfo struct {
 	Pushes     int    `json:"pushes"`
 	PushErrors int    `json:"push_errors"`
 	LastError  string `json:"last_error,omitempty"`
+	// Breaker is the node's push circuit-breaker state: "closed" (healthy),
+	// "open" (pushes suspended after repeated failures) or "half-open"
+	// (cool-down elapsed, next push is the probe).
+	Breaker string `json:"breaker"`
 }
 
 // NodesResponse is the body of GET /fleet/nodes.
@@ -139,10 +143,15 @@ type NodesResponse struct {
 type PushReport struct {
 	// Device is the device the round covered ("" for an all-devices round).
 	Device string `json:"device,omitempty"`
-	// Targets is how many registered nodes were stale and were pushed to;
-	// Pushed how many installed successfully.
+	// Targets is how many registered nodes were stale and considered for a
+	// push (including any skipped by an open breaker); Pushed how many
+	// installed successfully.
 	Targets int `json:"targets"`
 	Pushed  int `json:"pushed"`
+	// Skipped counts stale nodes whose circuit breaker was open: they were
+	// not contacted this round and will converge on their next heartbeat or
+	// once the breaker's probe succeeds.
+	Skipped int `json:"skipped,omitempty"`
 	// Errors lists per-node failures as "node: error".
 	Errors []string `json:"errors,omitempty"`
 }

@@ -1,0 +1,310 @@
+// Package resilience is the fleet's fault-handling toolkit: a Retryer
+// (exponential backoff with full jitter, per-attempt timeouts, context
+// cancellation) and a Breaker (a closed/open/half-open circuit breaker with
+// a cool-down probe), plus a per-peer BreakerSet.
+//
+// Every fleet RPC goes through these two primitives: the agent's
+// register/heartbeat loop backs off between failed syncs instead of
+// hammering a recovering control plane on a fixed tick (the full jitter
+// spreads a fleet's reconnects so heal-time traffic is not a thundering
+// herd), observation forwarding retries transient failures before spooling
+// to disk, and the control plane's snapshot fan-out keeps a breaker per
+// node so one dead agent is skipped instantly instead of slowing every
+// activation behind its connect timeout.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Retryer defaults, applied by withDefaults.
+const (
+	// DefaultMaxAttempts bounds one Do call's tries.
+	DefaultMaxAttempts = 4
+	// DefaultBaseDelay is the first backoff ceiling; each failure doubles
+	// it up to DefaultMaxDelay.
+	DefaultBaseDelay = 100 * time.Millisecond
+	// DefaultMaxDelay caps the backoff ceiling.
+	DefaultMaxDelay = 5 * time.Second
+)
+
+// Retryer retries an operation with exponential backoff and full jitter:
+// the wait before attempt n is uniform in [0, min(MaxDelay, BaseDelay·2ⁿ)].
+// Full jitter (rather than ±50% around the midpoint) is deliberate — when a
+// whole fleet loses the same control plane at once, it is the strongest
+// de-correlator of the retry times. The zero value retries with the
+// documented defaults. Retryer is stateless and safe for concurrent use.
+type Retryer struct {
+	// MaxAttempts is the total number of tries, first attempt included
+	// (0 = DefaultMaxAttempts; 1 disables retrying).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff ceiling (0 = default).
+	BaseDelay time.Duration
+	// MaxDelay caps the ceiling (0 = default).
+	MaxDelay time.Duration
+	// AttemptTimeout bounds each individual attempt via a derived context
+	// (0 = no per-attempt bound; the parent context still applies).
+	AttemptTimeout time.Duration
+	// Rand supplies the jitter in [0,1) (nil = math/rand). Tests pin it.
+	Rand func() float64
+}
+
+// withDefaults resolves the zero values.
+func (r Retryer) withDefaults() Retryer {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = DefaultMaxAttempts
+	}
+	if r.BaseDelay <= 0 {
+		r.BaseDelay = DefaultBaseDelay
+	}
+	if r.MaxDelay <= 0 {
+		r.MaxDelay = DefaultMaxDelay
+	}
+	if r.Rand == nil {
+		r.Rand = rand.Float64
+	}
+	return r
+}
+
+// Backoff returns the jittered wait before retry attempt (0-based: attempt
+// 0 is the wait after the first failure): uniform in [0, ceiling], where
+// ceiling doubles per attempt from BaseDelay up to MaxDelay. It is exposed
+// so loops that own their own scheduling (the agent heartbeat) share the
+// exact backoff policy of Do.
+func (r Retryer) Backoff(attempt int) time.Duration {
+	r = r.withDefaults()
+	return time.Duration(r.Rand() * float64(r.ceiling(attempt)))
+}
+
+// ceiling is the un-jittered exponential cap for a 0-based attempt.
+// Caller has resolved defaults.
+func (r Retryer) ceiling(attempt int) time.Duration {
+	d := r.BaseDelay
+	for i := 0; i < attempt && d < r.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > r.MaxDelay {
+		d = r.MaxDelay
+	}
+	return d
+}
+
+// Do runs op until it succeeds, the attempts are exhausted, or the context
+// is cancelled — whichever comes first. Each attempt gets a child context
+// bounded by AttemptTimeout (when set); between failures Do sleeps the
+// jittered backoff, aborting the sleep the moment ctx is cancelled. The
+// returned error is the last attempt's, wrapped with the attempt count;
+// a cancelled context surfaces as ctx.Err (wrapping the last attempt error
+// when one exists).
+func (r Retryer) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	r = r.withDefaults()
+	var last error
+	for attempt := 0; attempt < r.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if last != nil {
+				return fmt.Errorf("%w (after %d attempts: %v)", err, attempt, last)
+			}
+			return err
+		}
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if r.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, r.AttemptTimeout)
+		}
+		err := op(actx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		last = err
+		if attempt == r.MaxAttempts-1 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("%w (after %d attempts: %v)", ctx.Err(), attempt+1, last)
+		case <-time.After(r.Backoff(attempt)):
+		}
+	}
+	return fmt.Errorf("resilience: %d attempts failed: %w", r.MaxAttempts, last)
+}
+
+// Breaker defaults, applied on first use.
+const (
+	// DefaultFailureThreshold is the consecutive-failure count that trips a
+	// closed breaker open.
+	DefaultFailureThreshold = 5
+	// DefaultCooldown is how long a tripped breaker stays open before it
+	// admits one half-open probe.
+	DefaultCooldown = 15 * time.Second
+)
+
+// Breaker states reported by State.
+const (
+	// StateClosed passes every request; failures are counted.
+	StateClosed = "closed"
+	// StateOpen rejects every request until the cool-down elapses.
+	StateOpen = "open"
+	// StateHalfOpen admits exactly one probe; its outcome decides between
+	// closed and another open period.
+	StateHalfOpen = "half-open"
+)
+
+// ErrOpen is the error Do returns (and callers of Allow should treat a
+// false return as) when the breaker is rejecting requests.
+var ErrOpen = errors.New("resilience: circuit breaker open")
+
+// Breaker is a per-peer circuit breaker. Closed, it counts consecutive
+// failures and trips open at FailureThreshold; open, it rejects everything
+// until Cooldown has elapsed; then it goes half-open and admits exactly one
+// probe — a probe success closes the circuit, a probe failure re-opens it
+// for another cool-down. The zero value uses the documented defaults. All
+// methods are safe for concurrent use.
+type Breaker struct {
+	// FailureThreshold trips the breaker after this many consecutive
+	// failures (0 = default).
+	FailureThreshold int
+	// Cooldown is the open period before a half-open probe (0 = default).
+	Cooldown time.Duration
+
+	mu       sync.Mutex
+	failures int
+	open     bool
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	// now is the clock, swappable by tests; nil = time.Now.
+	now func() time.Time
+}
+
+// clock resolves the test clock. Caller holds mu.
+func (b *Breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+// threshold resolves the configured trip point.
+func (b *Breaker) threshold() int {
+	if b.FailureThreshold <= 0 {
+		return DefaultFailureThreshold
+	}
+	return b.FailureThreshold
+}
+
+// cooldown resolves the configured open period.
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return DefaultCooldown
+	}
+	return b.Cooldown
+}
+
+// Allow reports whether a request may proceed now. In the open state it
+// starts the half-open probe when the cool-down has elapsed — the caller
+// that got true MUST report the outcome via Record (or Do does it for
+// them), or the breaker stays half-open with its one probe slot taken.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.probing || b.clock().Sub(b.openedAt) < b.cooldown() {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// Record reports one request outcome to the breaker.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.open, b.probing, b.failures = false, false, 0
+		return
+	}
+	if b.open {
+		// A failed half-open probe (or a straggler from before the trip):
+		// restart the cool-down.
+		b.probing = false
+		b.openedAt = b.clock()
+		return
+	}
+	if b.failures++; b.failures >= b.threshold() {
+		b.open = true
+		b.probing = false
+		b.openedAt = b.clock()
+	}
+}
+
+// Do guards op with the breaker: ErrOpen without calling op when the
+// circuit is rejecting, otherwise op's own error, recorded either way.
+func (b *Breaker) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	if !b.Allow() {
+		return ErrOpen
+	}
+	err := op(ctx)
+	b.Record(err)
+	return err
+}
+
+// State names the breaker's current state (closed, open, or half-open —
+// the latter while the cool-down has elapsed or a probe is in flight).
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case !b.open:
+		return StateClosed
+	case b.probing || b.clock().Sub(b.openedAt) >= b.cooldown():
+		return StateHalfOpen
+	default:
+		return StateOpen
+	}
+}
+
+// BreakerSet is a lazily populated map of per-peer breakers sharing one
+// configuration — the control plane keys it by node id so each agent's
+// push link trips independently. Safe for concurrent use.
+type BreakerSet struct {
+	// FailureThreshold and Cooldown configure every breaker the set creates
+	// (0 = the Breaker defaults).
+	FailureThreshold int
+	Cooldown         time.Duration
+
+	mu sync.Mutex
+	m  map[string]*Breaker
+}
+
+// Get returns the peer's breaker, creating it closed on first use.
+func (s *BreakerSet) Get(peer string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = map[string]*Breaker{}
+	}
+	b, ok := s.m[peer]
+	if !ok {
+		b = &Breaker{FailureThreshold: s.FailureThreshold, Cooldown: s.Cooldown}
+		s.m[peer] = b
+	}
+	return b
+}
+
+// State reports a peer's breaker state without creating one (StateClosed
+// for peers the set has never seen — an untracked peer is not rejected).
+func (s *BreakerSet) State(peer string) string {
+	s.mu.Lock()
+	b := s.m[peer]
+	s.mu.Unlock()
+	if b == nil {
+		return StateClosed
+	}
+	return b.State()
+}

@@ -1,0 +1,267 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRetryerSucceedsAfterTransientFailures pins the basic retry contract:
+// failures up to MaxAttempts-1 are retried and a late success is a success.
+func TestRetryerSucceedsAfterTransientFailures(t *testing.T) {
+	r := Retryer{MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}
+	calls := 0
+	err := r.Do(context.Background(), func(ctx context.Context) error {
+		if calls++; calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("op called %d times, want 3", calls)
+	}
+}
+
+// TestRetryerExhaustsAttempts pins the failure shape: the last error is
+// wrapped and the attempt count is bounded.
+func TestRetryerExhaustsAttempts(t *testing.T) {
+	r := Retryer{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}
+	sentinel := errors.New("down")
+	calls := 0
+	err := r.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		return sentinel
+	})
+	if calls != 3 {
+		t.Fatalf("op called %d times, want 3", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error %v does not wrap the last attempt's error", err)
+	}
+}
+
+// TestRetryerBackoffFullJitter pins the backoff envelope: with Rand pinned
+// to its extremes, the wait is 0 at one end and the doubling-then-capped
+// ceiling at the other.
+func TestRetryerBackoffFullJitter(t *testing.T) {
+	base, max := 100*time.Millisecond, 400*time.Millisecond
+	low := Retryer{BaseDelay: base, MaxDelay: max, Rand: func() float64 { return 0 }}
+	high := Retryer{BaseDelay: base, MaxDelay: max, Rand: func() float64 { return 0.999999 }}
+	for attempt, ceiling := range []time.Duration{base, 2 * base, 4 * base, max, max} {
+		if d := low.Backoff(attempt); d != 0 {
+			t.Errorf("attempt %d: low jitter gave %v, want 0", attempt, d)
+		}
+		d := high.Backoff(attempt)
+		if d > ceiling || d < ceiling-ceiling/100 {
+			t.Errorf("attempt %d: high jitter gave %v, want ≈%v", attempt, d, ceiling)
+		}
+	}
+}
+
+// TestRetryerContextCancelsSleep proves a cancelled context aborts the
+// backoff sleep immediately instead of serving it out.
+func TestRetryerContextCancelsSleep(t *testing.T) {
+	r := Retryer{MaxAttempts: 2, BaseDelay: time.Hour, MaxDelay: time.Hour,
+		Rand: func() float64 { return 0.999 }}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		done <- r.Do(ctx, func(ctx context.Context) error {
+			close(started)
+			return errors.New("fail")
+		})
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error %v does not wrap context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancellation; it is sleeping out the backoff")
+	}
+}
+
+// TestRetryerAttemptTimeout proves each attempt gets its own deadline.
+func TestRetryerAttemptTimeout(t *testing.T) {
+	r := Retryer{MaxAttempts: 2, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond,
+		AttemptTimeout: 10 * time.Millisecond}
+	var deadlines int
+	err := r.Do(context.Background(), func(ctx context.Context) error {
+		if _, ok := ctx.Deadline(); ok {
+			deadlines++
+		}
+		<-ctx.Done() // block until the per-attempt timeout fires
+		return ctx.Err()
+	})
+	if err == nil {
+		t.Fatal("Do succeeded; want per-attempt timeouts to fail it")
+	}
+	if deadlines != 2 {
+		t.Fatalf("%d attempts saw a deadline, want 2", deadlines)
+	}
+}
+
+// TestBreakerLifecycle walks the full closed → open → half-open → closed
+// circle with a pinned clock.
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := &Breaker{FailureThreshold: 3, Cooldown: time.Minute, now: func() time.Time { return now }}
+	fail := errors.New("down")
+
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("initial state %s, want closed", got)
+	}
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		b.Record(fail)
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after 2 failures %s, want closed (threshold 3)", got)
+	}
+	b.Record(fail) // third consecutive failure trips it
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after threshold %s, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request before the cool-down")
+	}
+
+	now = now.Add(61 * time.Second) // cool-down elapsed → one probe
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after cool-down %s, want half-open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Record(fail) // failed probe → open again, cool-down restarted
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after failed probe %s, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("breaker allowed a request right after a failed probe")
+	}
+
+	now = now.Add(61 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker rejected the second probe after the restarted cool-down")
+	}
+	b.Record(nil) // successful probe closes the circuit
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after successful probe %s, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected a request")
+	}
+}
+
+// TestBreakerSuccessResetsFailureCount proves intermittent failures below
+// the threshold never trip the breaker.
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b := &Breaker{FailureThreshold: 2}
+	fail := errors.New("down")
+	for i := 0; i < 10; i++ {
+		b.Record(fail)
+		b.Record(nil)
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state %s after alternating outcomes, want closed", got)
+	}
+}
+
+// TestBreakerDo pins the Do wrapper: ErrOpen without invoking the
+// operation while tripped.
+func TestBreakerDo(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := &Breaker{FailureThreshold: 1, Cooldown: time.Minute, now: func() time.Time { return now }}
+	calls := 0
+	op := func(ctx context.Context) error { calls++; return errors.New("down") }
+	if err := b.Do(context.Background(), op); err == nil {
+		t.Fatal("first Do succeeded, want the op's error")
+	}
+	if err := b.Do(context.Background(), op); !errors.Is(err, ErrOpen) {
+		t.Fatalf("tripped Do returned %v, want ErrOpen", err)
+	}
+	if calls != 1 {
+		t.Fatalf("op called %d times, want 1 (open breaker must not call it)", calls)
+	}
+}
+
+// TestBreakerSetIsolation proves per-peer breakers trip independently and
+// unknown peers read as closed.
+func TestBreakerSetIsolation(t *testing.T) {
+	s := &BreakerSet{FailureThreshold: 1, Cooldown: time.Hour}
+	s.Get("dead").Record(errors.New("down"))
+	if got := s.State("dead"); got != StateOpen {
+		t.Fatalf("dead peer state %s, want open", got)
+	}
+	if got := s.State("healthy"); got != StateClosed {
+		t.Fatalf("untouched peer state %s, want closed", got)
+	}
+	if !s.Get("healthy").Allow() {
+		t.Fatal("healthy peer's breaker rejected a request")
+	}
+}
+
+// TestBreakerConcurrentProbes hammers a half-open breaker from many
+// goroutines: exactly one gets the probe slot.
+func TestBreakerConcurrentProbes(t *testing.T) {
+	now := time.Unix(0, 0)
+	var mu sync.Mutex
+	b := &Breaker{FailureThreshold: 1, Cooldown: time.Second, now: func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}}
+	b.Record(errors.New("down"))
+	mu.Lock()
+	now = now.Add(2 * time.Second)
+	mu.Unlock()
+
+	var wg sync.WaitGroup
+	allowed := make(chan struct{}, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow() {
+				allowed <- struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+	close(allowed)
+	n := 0
+	for range allowed {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("%d goroutines won the half-open probe slot, want exactly 1", n)
+	}
+}
+
+func ExampleRetryer_Do() {
+	r := Retryer{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	attempts := 0
+	err := r.Do(context.Background(), func(ctx context.Context) error {
+		if attempts++; attempts < 2 {
+			return errors.New("transient failure")
+		}
+		return nil
+	})
+	fmt.Println(attempts, err)
+	// Output: 2 <nil>
+}
