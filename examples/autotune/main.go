@@ -59,7 +59,7 @@ func main() {
 	// ---- Train and serve ------------------------------------------------
 	fmt.Println("== train → serve ==")
 	trainer := adapt.NewEngineTrainer(eng, nil)
-	models, tr, err := trainer.Fit(context.Background(), nil)
+	models, tr, err := trainer.Fit(context.Background(), nil, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -106,7 +106,7 @@ type fakeTrainer struct {
 	err    error
 }
 
-func (f fakeTrainer) Fit(ctx context.Context, extra []core.Sample) (*core.Models, registry.Training, error) {
+func (f fakeTrainer) Fit(ctx context.Context, extra []core.Sample, prior *core.Models) (*core.Models, registry.Training, error) {
 	if f.err != nil {
 		return nil, registry.Training{}, f.err
 	}

@@ -1,0 +1,116 @@
+package adapt
+
+// Retrain benchmarks and the warm/cold speed gate. The benchmarks run at
+// the paper's full scale (106 micro-benchmarks × 40 sampled settings, plus
+// a 48-observation window folded in at weight 3 — the adaptation loop's
+// defaults); the gate test runs the same comparison at a small scale fast
+// enough for every CI run, and fails if warm-started retraining loses its
+// advantage over cold.
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/svm"
+)
+
+// benchExtra builds the adaptation batch: nobs distinct observations,
+// weight-replicated w times each, the exact sample shape runRetrain hands
+// the trainer. Targets deviate ±0.2 from nominal — roughly the 2×-baseline
+// error level at which the drift detector actually fires a retrain — so
+// many rows land outside the ε-tube (ε = 0.1) and the fits must genuinely
+// incorporate them: a warm start cannot get away with declaring the prior
+// optimum still optimal.
+func benchExtra(nobs, w int) []core.Sample {
+	out := make([]core.Sample, 0, nobs*w)
+	for i := 0; i < nobs; i++ {
+		dev := 0.2 * math.Sin(float64(i)*2.399963)
+		o := obs(1.0+dev, 0.95+0.8*dev)
+		o.Features[1] = 0.1 + 0.01*float64(i%5)
+		o.Features[2] = float64(i) / float64(nobs)
+		s := o.Sample()
+		for j := 0; j < w; j++ {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// retrainSetup builds a trainer over a fresh engine, fits the prior (the
+// "active" models, trained on the base corpus only — also warming the
+// trainer's cached base matrix), and returns the observation batch.
+func retrainSetup(tb testing.TB, kernels, settings, nobs int) (*EngineTrainer, *core.Models, []core.Sample) {
+	tb.Helper()
+	// The iteration cap is raised so both arms run to convergence: under
+	// the serving default the paper-scale linear fit is cut off at the cap
+	// (~870k iterations), which would make cold and warm both measure the
+	// cap instead of the retrain.
+	eng := engine.NewDefault(engine.Options{Core: core.Options{
+		SettingsPerKernel: settings,
+		Params:            svm.Params{C: 1000, Epsilon: 0.1, MaxIter: 40_000_000},
+	}})
+	ks := engine.TrainingKernels()
+	if kernels < len(ks) {
+		ks = ks[:kernels]
+	}
+	tr := NewEngineTrainer(eng, ks)
+	prior, _, err := tr.Fit(context.Background(), nil, nil)
+	if err != nil {
+		tb.Fatalf("prior fit: %v", err)
+	}
+	return tr, prior, benchExtra(nobs, 3)
+}
+
+func benchRetrain(b *testing.B, prior func(*core.Models) *core.Models) {
+	tr, active, extra := retrainSetup(b, len(engine.TrainingKernels()), 40, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tr.Fit(context.Background(), extra, prior(active)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColdRetrain(b *testing.B) {
+	benchRetrain(b, func(*core.Models) *core.Models { return nil })
+}
+
+func BenchmarkWarmRetrain(b *testing.B) {
+	benchRetrain(b, func(m *core.Models) *core.Models { return m })
+}
+
+// TestWarmRetrainSpeedGate is the CI regression gate: at a small corpus
+// scale, a warm-started retrain must finish in under half the cold retrain's
+// wall time (at full scale the measured gap is far larger; see
+// BENCH_PR9.json). Both variants are timed twice and judged on their best
+// run to shed scheduler noise on loaded runners.
+func TestWarmRetrainSpeedGate(t *testing.T) {
+	// 80 kernels × 20 settings: large enough that the linear fit's
+	// superlinear iteration growth shows the warm advantage clearly
+	// (~9× here vs ~19× at full scale; under ~500 rows it shrinks toward
+	// parity), small enough to keep the whole gate under ~20 s.
+	tr, active, extra := retrainSetup(t, 80, 20, 16)
+	timeFit := func(prior *core.Models) time.Duration {
+		best := time.Duration(0)
+		for i := 0; i < 2; i++ {
+			start := time.Now()
+			if _, _, err := tr.Fit(context.Background(), extra, prior); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	cold := timeFit(nil)
+	warm := timeFit(active)
+	t.Logf("cold %v, warm %v (%.1fx)", cold, warm, float64(cold)/float64(warm))
+	if 2*warm >= cold {
+		t.Fatalf("warm retrain took %v vs cold %v — the warm start no longer pays for itself", warm, cold)
+	}
+}

@@ -17,14 +17,18 @@ import (
 type Trainer interface {
 	// Fit trains candidate models on the base corpus extended with extra
 	// samples and reports the training metadata for the snapshot manifest.
-	Fit(ctx context.Context, extra []core.Sample) (*core.Models, registry.Training, error)
+	// A non-nil prior seeds both fits from the corresponding prior models
+	// (warm start); implementations that cannot warm-start may ignore it.
+	Fit(ctx context.Context, extra []core.Sample, prior *core.Models) (*core.Models, registry.Training, error)
 }
 
 // EngineTrainer is the production Trainer: it rebuilds the synthetic
 // training set through the engine's worker pool (once — the set is
-// deterministic, so it is cached across retrains), appends the
-// observations, fits both SVRs concurrently, and records the training
-// residuals the drift detector will use as the next baseline.
+// deterministic, so it is cached across retrains), lays it out as a
+// solver-ready matrix (also once — per retrain only the folded-in
+// observation rows pay for layout), fits both SVRs concurrently, and
+// records the training residuals the drift detector will use as the next
+// baseline.
 type EngineTrainer struct {
 	eng *engine.Engine
 	// Kernels overrides the training kernel list (nil = the paper's full
@@ -32,7 +36,7 @@ type EngineTrainer struct {
 	Kernels []core.TrainingKernel
 
 	baseOnce    sync.Once
-	base        []core.Sample
+	base        *core.TrainingMatrix
 	baseKernels int
 	baseErr     error
 }
@@ -42,30 +46,36 @@ func NewEngineTrainer(eng *engine.Engine, kernels []core.TrainingKernel) *Engine
 	return &EngineTrainer{eng: eng, Kernels: kernels}
 }
 
-// baseSamples builds (once) the synthetic training set.
-func (t *EngineTrainer) baseSamples(ctx context.Context) ([]core.Sample, error) {
+// baseMatrix builds (once) the synthetic training set and its solver
+// layout. Reusing the laid-out design rows across retrains is also what
+// makes warm starts bit-exact: the unchanged corpus rows are the same
+// float64 storage every retrain, so the prior model's support vectors
+// re-match them identically.
+func (t *EngineTrainer) baseMatrix(ctx context.Context) (*core.TrainingMatrix, error) {
 	t.baseOnce.Do(func() {
 		kernels := t.Kernels
 		if kernels == nil {
 			kernels = engine.TrainingKernels()
 		}
 		t.baseKernels = len(kernels)
-		t.base, t.baseErr = t.eng.BuildTrainingSet(ctx, kernels)
+		var samples []core.Sample
+		if samples, t.baseErr = t.eng.BuildTrainingSet(ctx, kernels); t.baseErr == nil {
+			t.base = core.NewTrainingMatrix(samples)
+		}
 	})
 	return t.base, t.baseErr
 }
 
 // Fit implements Trainer: base synthetic samples plus the observations,
-// fitted through the engine's concurrent SVR path.
-func (t *EngineTrainer) Fit(ctx context.Context, extra []core.Sample) (*core.Models, registry.Training, error) {
-	base, err := t.baseSamples(ctx)
+// fitted through the engine's concurrent SVR path, warm-seeded from prior
+// when one is supplied.
+func (t *EngineTrainer) Fit(ctx context.Context, extra []core.Sample, prior *core.Models) (*core.Models, registry.Training, error) {
+	base, err := t.baseMatrix(ctx)
 	if err != nil {
 		return nil, registry.Training{}, err
 	}
-	samples := make([]core.Sample, 0, len(base)+len(extra))
-	samples = append(samples, base...)
-	samples = append(samples, extra...)
-	models, err := t.eng.Fit(ctx, samples)
+	m := base.WithExtra(extra)
+	models, err := t.eng.FitMatrix(ctx, m, prior)
 	if err != nil {
 		return nil, registry.Training{}, err
 	}
@@ -75,9 +85,9 @@ func (t *EngineTrainer) Fit(ctx context.Context, extra []core.Sample) (*core.Mod
 	tr := registry.Training{
 		SettingsPerKernel: t.eng.Options().Core.WithDefaults().SettingsPerKernel,
 		Kernels:           t.baseKernels,
-		Samples:           len(samples),
+		Samples:           m.Len(),
 		Observations:      len(extra),
 	}
-	tr.SpeedupRMSE, tr.EnergyRMSE = core.ResidualRMSE(models, samples)
+	tr.SpeedupRMSE, tr.EnergyRMSE = core.ResidualRMSEOn(models, m)
 	return models, tr, nil
 }

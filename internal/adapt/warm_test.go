@@ -1,0 +1,167 @@
+package adapt
+
+// Warm-start policy tests: which retrains may seed the solver from the
+// active models, how the decision is reported under /adapt/status and in
+// the published manifest, and that a failing warm fit falls back to cold
+// instead of failing the retrain.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/registry"
+)
+
+// recordingTrainer is a fakeTrainer that remembers the prior passed to each
+// Fit call and can be told to fail warm fits.
+type recordingTrainer struct {
+	models   *core.Models
+	failWarm bool
+
+	mu     sync.Mutex
+	priors []*core.Models
+}
+
+func (r *recordingTrainer) Fit(ctx context.Context, extra []core.Sample, prior *core.Models) (*core.Models, registry.Training, error) {
+	r.mu.Lock()
+	r.priors = append(r.priors, prior)
+	r.mu.Unlock()
+	if r.failWarm && prior != nil {
+		return nil, registry.Training{}, fmt.Errorf("prior kernel mismatch")
+	}
+	return r.models, registry.Training{Observations: len(extra)}, nil
+}
+
+func (r *recordingTrainer) seen() []*core.Models {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*core.Models(nil), r.priors...)
+}
+
+// driveSampleCountRetrain pushes perfect observations until the sample-count
+// policy triggers one synchronous retrain.
+func driveSampleCountRetrain(t *testing.T, c *Controller) {
+	t.Helper()
+	for i := 0; i < 5; i++ {
+		res, err := c.Observe(obs(1, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RetrainStarted {
+			return
+		}
+	}
+	t.Fatal("sample-count policy never triggered")
+}
+
+func TestAutoRetrainWarmStarts(t *testing.T) {
+	active := constModels(t, 1, 1)
+	r := newRig(t, active, registry.Training{})
+	tr := &recordingTrainer{models: constModels(t, 1, 1)}
+	c := New(Config{Auto: true, Sync: true, RetrainEvery: 5}, r.deps(tr))
+
+	driveSampleCountRetrain(t, c)
+
+	priors := tr.seen()
+	if len(priors) != 1 || priors[0] != active {
+		t.Fatalf("trainer priors = %v, want exactly the active model set", priors)
+	}
+	st := c.Status().Retrain
+	ws := st.LastWarmStart
+	if ws == nil || !ws.Used {
+		t.Fatalf("LastWarmStart = %+v, want Used", ws)
+	}
+	if ws.FromVersion != "v0001" {
+		t.Errorf("FromVersion = %q, want v0001", ws.FromVersion)
+	}
+	if ws.Fallback != "" {
+		t.Errorf("unexpected fallback %q", ws.Fallback)
+	}
+	// The published manifest records the provenance too.
+	man, err := r.store.GetManifest("titanx", st.LastVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Training.WarmStart == nil || man.Training.WarmStart.FromVersion != "v0001" {
+		t.Errorf("manifest warm_start = %+v, want from_version v0001", man.Training.WarmStart)
+	}
+}
+
+func TestManualRetrainAlwaysCold(t *testing.T) {
+	r := newRig(t, constModels(t, 1, 1), registry.Training{})
+	tr := &recordingTrainer{models: constModels(t, 1, 1)}
+	c := New(Config{}, r.deps(tr))
+	for i := 0; i < 4; i++ {
+		if _, err := c.Observe(obs(1, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := c.Retrain(context.Background(), "manual test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if priors := tr.seen(); len(priors) != 1 || priors[0] != nil {
+		t.Fatalf("manual retrain passed a prior: %v", priors)
+	}
+	ws := st.LastWarmStart
+	if ws == nil || ws.Used || !strings.Contains(ws.Fallback, "manual retrains always fit cold") {
+		t.Fatalf("LastWarmStart = %+v, want cold with the manual-retrain fallback", ws)
+	}
+	man, err := r.store.GetManifest("titanx", st.LastVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Training.WarmStart != nil {
+		t.Errorf("cold retrain published warm_start provenance: %+v", man.Training.WarmStart)
+	}
+}
+
+func TestDisableWarmStartConfig(t *testing.T) {
+	r := newRig(t, constModels(t, 1, 1), registry.Training{})
+	tr := &recordingTrainer{models: constModels(t, 1, 1)}
+	c := New(Config{Auto: true, Sync: true, RetrainEvery: 5, DisableWarmStart: true}, r.deps(tr))
+
+	driveSampleCountRetrain(t, c)
+
+	if priors := tr.seen(); len(priors) != 1 || priors[0] != nil {
+		t.Fatalf("warm-disabled retrain passed a prior: %v", priors)
+	}
+	ws := c.Status().Retrain.LastWarmStart
+	if ws == nil || ws.Used || ws.Fallback != "disabled by configuration" {
+		t.Fatalf("LastWarmStart = %+v, want the disabled-by-configuration fallback", ws)
+	}
+}
+
+func TestWarmFitFailureFallsBackCold(t *testing.T) {
+	r := newRig(t, constModels(t, 1, 1), registry.Training{})
+	tr := &recordingTrainer{models: constModels(t, 1, 1), failWarm: true}
+	c := New(Config{Auto: true, Sync: true, RetrainEvery: 5, Cooldown: time.Hour}, r.deps(tr))
+
+	driveSampleCountRetrain(t, c)
+
+	priors := tr.seen()
+	if len(priors) != 2 || priors[0] == nil || priors[1] != nil {
+		t.Fatalf("want a warm attempt then a cold fallback, got priors %v", priors)
+	}
+	st := c.Status().Retrain
+	if st.LastOutcome != OutcomeActivated {
+		t.Fatalf("retrain outcome = %s (%s), want activated via cold fallback", st.LastOutcome, st.LastError)
+	}
+	ws := st.LastWarmStart
+	if ws == nil || ws.Used || !strings.Contains(ws.Fallback, "warm fit failed") {
+		t.Fatalf("LastWarmStart = %+v, want the warm-fit-failed fallback", ws)
+	}
+	man, err := r.store.GetManifest("titanx", st.LastVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Training.WarmStart != nil {
+		t.Errorf("cold-fallback retrain published warm_start provenance: %+v", man.Training.WarmStart)
+	}
+}

@@ -149,6 +149,51 @@ func DesignRows(samples []Sample) [][]float64 {
 	return xs
 }
 
+// TrainingMatrix is a training set laid out for the SVR solver: the design
+// rows (flat-backed, as DesignRows produces) plus the two target columns.
+// Building it is the per-retrain layout cost; callers that refit on a mostly
+// unchanged corpus build the base matrix once and extend it per retrain with
+// WithExtra, so only the new rows pay for layout.
+type TrainingMatrix struct {
+	Rows    [][]float64
+	Speedup []float64
+	Energy  []float64
+}
+
+// NewTrainingMatrix lays the samples out as a solver-ready matrix.
+func NewTrainingMatrix(samples []Sample) *TrainingMatrix {
+	m := &TrainingMatrix{
+		Rows:    DesignRows(samples),
+		Speedup: make([]float64, len(samples)),
+		Energy:  make([]float64, len(samples)),
+	}
+	for i, s := range samples {
+		m.Speedup[i] = s.Speedup
+		m.Energy[i] = s.NormEnergy
+	}
+	return m
+}
+
+// WithExtra returns the matrix extended with additional samples. The
+// receiver's rows are shared, not copied (they are read-only to the solver),
+// and the receiver itself is never modified — full slice expressions pin the
+// appends to fresh backing arrays, so a cached base matrix can be extended
+// concurrently by independent retrains.
+func (m *TrainingMatrix) WithExtra(extra []Sample) *TrainingMatrix {
+	if len(extra) == 0 {
+		return m
+	}
+	ex := NewTrainingMatrix(extra)
+	return &TrainingMatrix{
+		Rows:    append(m.Rows[:len(m.Rows):len(m.Rows)], ex.Rows...),
+		Speedup: append(m.Speedup[:len(m.Speedup):len(m.Speedup)], ex.Speedup...),
+		Energy:  append(m.Energy[:len(m.Energy):len(m.Energy)], ex.Energy...),
+	}
+}
+
+// Len reports the number of training rows.
+func (m *TrainingMatrix) Len() int { return len(m.Rows) }
+
 // Models holds the two trained single-objective models.
 type Models struct {
 	Speedup *svm.Model
@@ -158,22 +203,42 @@ type Models struct {
 // Train fits the speedup and normalized-energy SVR models on the training
 // set (training-phase steps 5–6 of Fig. 2).
 func Train(samples []Sample, opt Options) (*Models, error) {
+	return TrainWarm(samples, opt, nil)
+}
+
+// TrainWarm is Train with an optional warm start: when prior is non-nil,
+// each fit is seeded from the corresponding prior model via
+// svm.Params.WarmStart, which re-matches prior support vectors against the
+// new design rows by bit-exact identity. On the adaptation workload — an
+// unchanged synthetic corpus with a few observation rows folded in — the
+// seeded solve converges orders of magnitude faster than a cold fit and, on
+// an identical corpus, reproduces the prior models bit-for-bit.
+func TrainWarm(samples []Sample, opt Options, prior *Models) (*Models, error) {
 	opt = opt.WithDefaults()
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("core: empty training set")
 	}
-	xs := DesignRows(samples)
-	ys := make([]float64, len(samples))
-	es := make([]float64, len(samples))
-	for i, s := range samples {
-		ys[i] = s.Speedup
-		es[i] = s.NormEnergy
+	return TrainMatrix(NewTrainingMatrix(samples), opt, prior)
+}
+
+// TrainMatrix fits both models on a prebuilt matrix. It is the sequential
+// reference path under Train and TrainWarm; the engine's FitMatrix runs the
+// same two fits concurrently.
+func TrainMatrix(m *TrainingMatrix, opt Options, prior *Models) (*Models, error) {
+	opt = opt.WithDefaults()
+	if m.Len() == 0 {
+		return nil, fmt.Errorf("core: empty training set")
 	}
-	sm, err := svm.Train(xs, ys, opt.SpeedupKernel, opt.Params)
+	ps, pe := opt.Params, opt.Params
+	if prior != nil {
+		ps.WarmStart = prior.Speedup
+		pe.WarmStart = prior.Energy
+	}
+	sm, err := svm.Train(m.Rows, m.Speedup, opt.SpeedupKernel, ps)
 	if err != nil {
 		return nil, fmt.Errorf("core: training speedup model: %w", err)
 	}
-	em, err := svm.Train(xs, es, opt.EnergyKernel, opt.Params)
+	em, err := svm.Train(m.Rows, m.Energy, opt.EnergyKernel, pe)
 	if err != nil {
 		return nil, fmt.Errorf("core: training energy model: %w", err)
 	}
@@ -198,6 +263,24 @@ func ResidualRMSE(m *Models, samples []Sample) (speedup, energy float64) {
 		se += de * de
 	}
 	n := float64(len(samples))
+	return math.Sqrt(ss / n), math.Sqrt(se / n)
+}
+
+// ResidualRMSEOn is ResidualRMSE over a prebuilt matrix: the same
+// fractional RMS residual per objective, without materializing a combined
+// sample slice. Empty input returns zeros.
+func ResidualRMSEOn(m *Models, tm *TrainingMatrix) (speedup, energy float64) {
+	if tm.Len() == 0 {
+		return 0, 0
+	}
+	var ss, se float64
+	for i, row := range tm.Rows {
+		ds := m.Speedup.Predict(row) - tm.Speedup[i]
+		de := m.Energy.Predict(row) - tm.Energy[i]
+		ss += ds * ds
+		se += de * de
+	}
+	n := float64(tm.Len())
 	return math.Sqrt(ss / n), math.Sqrt(se / n)
 }
 

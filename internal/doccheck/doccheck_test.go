@@ -28,6 +28,7 @@ func TestGodocCoverage(t *testing.T) {
 		"../regress",
 		"../registry",
 		"../svm",
+		"../svm/svmtest",
 		"../synth",
 	} {
 		missing, err := Missing(pkg)

@@ -181,19 +181,31 @@ feed:
 // embarrassingly parallel. The context is honored at entry and its error
 // reported after the fits complete (SMO itself is not interruptible).
 func (e *Engine) Fit(ctx context.Context, samples []core.Sample) (*core.Models, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("engine: empty training set")
+	}
+	return e.FitMatrix(ctx, core.NewTrainingMatrix(samples), nil)
+}
+
+// FitMatrix is Fit over a prebuilt training matrix, with an optional warm
+// start: when prior is non-nil each fit is seeded from the corresponding
+// prior model (svm.Params.WarmStart), which on the adaptation workload —
+// unchanged corpus rows plus a few folded-in observations — converges orders
+// of magnitude faster than a cold fit. The two fits still run concurrently;
+// each goroutine gets its own Params copy, so the shared options are never
+// mutated.
+func (e *Engine) FitMatrix(ctx context.Context, m *core.TrainingMatrix, prior *core.Models) (*core.Models, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	opt := e.opts.Core.WithDefaults()
-	if len(samples) == 0 {
+	if m.Len() == 0 {
 		return nil, errors.New("engine: empty training set")
 	}
-	xs := core.DesignRows(samples)
-	ys := make([]float64, len(samples))
-	es := make([]float64, len(samples))
-	for i, s := range samples {
-		ys[i] = s.Speedup
-		es[i] = s.NormEnergy
+	ps, pe := opt.Params, opt.Params
+	if prior != nil {
+		ps.WarmStart = prior.Speedup
+		pe.WarmStart = prior.Energy
 	}
 
 	var (
@@ -204,11 +216,11 @@ func (e *Engine) Fit(ctx context.Context, samples []core.Sample) (*core.Models, 
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		sm, sErr = svm.Train(xs, ys, opt.SpeedupKernel, opt.Params)
+		sm, sErr = svm.Train(m.Rows, m.Speedup, opt.SpeedupKernel, ps)
 	}()
 	go func() {
 		defer wg.Done()
-		em, eErr = svm.Train(xs, es, opt.EnergyKernel, opt.Params)
+		em, eErr = svm.Train(m.Rows, m.Energy, opt.EnergyKernel, pe)
 	}()
 	wg.Wait()
 

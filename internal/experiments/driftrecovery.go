@@ -96,7 +96,7 @@ func (s *Suite) AdaptRecovery() (AdaptReport, error) {
 	// retrains use, so the synthetic training set is built once and the
 	// manifest records the residual baselines.
 	trainer := adapt.NewEngineTrainer(eng, nil)
-	models, tr, err := trainer.Fit(ctx, nil)
+	models, tr, err := trainer.Fit(ctx, nil, nil)
 	if err != nil {
 		return AdaptReport{}, fmt.Errorf("experiments: base training: %w", err)
 	}

@@ -79,7 +79,7 @@ func obsFor(speedup, energy float64) adapt.Observation {
 // fakeTrainer returns fixed candidate models without any real training.
 type fakeTrainer struct{ models *core.Models }
 
-func (f fakeTrainer) Fit(ctx context.Context, extra []core.Sample) (*core.Models, registry.Training, error) {
+func (f fakeTrainer) Fit(ctx context.Context, extra []core.Sample, prior *core.Models) (*core.Models, registry.Training, error) {
 	return f.models, registry.Training{Observations: len(extra)}, nil
 }
 

@@ -1,0 +1,69 @@
+package registry
+
+// Fuzz target for the snapshot wire format. ImportDoc is the store's only
+// entry point for bytes it did not write itself (fleet push/pull), so its
+// contract is strict: any mutation of a snapshot document is rejected with
+// an error wrapping ErrCorrupt or ErrIncompatible, and a document that is
+// accepted must load back as a complete, usable model set — never a partial
+// one. Seed corpus under testdata/fuzz/ runs as regressions in plain
+// `go test`; CI adds a bounded fuzzing pass.
+
+import (
+	"errors"
+	"testing"
+)
+
+func FuzzSnapshotLoad(f *testing.F) {
+	// The richest seed is a real exported snapshot; its mutations teach the
+	// fuzzer the document shape. Static corpus files under testdata/fuzz/
+	// cover the shape-free failure modes (garbage, truncation, bad ids).
+	_, models := trainSmall(f)
+	src, err := Open("")
+	if err != nil {
+		f.Fatal(err)
+	}
+	man, err := src.Save("titanx", "", models, Training{SettingsPerKernel: 3, Kernels: 106, Samples: 954})
+	if err != nil {
+		f.Fatal(err)
+	}
+	doc, err := src.ExportDoc("titanx", man.Version)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(doc)
+	flip := func(i int) []byte {
+		m := append([]byte(nil), doc...)
+		m[i] ^= 0x20
+		return m
+	}
+	f.Add(flip(len(doc) / 2)) // content mutation → hash mismatch
+	f.Add(flip(len(doc) - 2)) // tail mutation
+	f.Add(doc[:len(doc)/2])   // truncated document
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Open("") // fresh in-memory store per input
+		if err != nil {
+			t.Fatal(err)
+		}
+		man, err := s.ImportDoc(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrIncompatible) {
+				t.Fatalf("ImportDoc rejected input with an unclassified error: %v", err)
+			}
+			return
+		}
+		// Accepted documents must load back complete — the verified bytes
+		// were published verbatim, so a partial or unusable model set here
+		// means verification let a mutation through.
+		m, man2, err := s.Load(man.Device, man.Version)
+		if err != nil {
+			t.Fatalf("imported document failed to load back: %v", err)
+		}
+		if m == nil || m.Speedup == nil || m.Energy == nil {
+			t.Fatalf("imported document loaded a partial model set: %+v", m)
+		}
+		if man2.Hash != man.Hash {
+			t.Fatalf("hash changed across import/load: %s vs %s", man2.Hash, man.Hash)
+		}
+	})
+}

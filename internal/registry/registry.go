@@ -80,6 +80,21 @@ type Training struct {
 	// baseline. Zero in snapshots published before residual recording.
 	SpeedupRMSE float64 `json:"speedup_rmse,omitempty"`
 	EnergyRMSE  float64 `json:"energy_rmse,omitempty"`
+	// WarmStart records that the fit was seeded from a prior snapshot's
+	// models instead of starting cold. Nil for cold fits.
+	WarmStart *WarmStartInfo `json:"warm_start,omitempty"`
+}
+
+// WarmStartInfo records a warm-started training run's seeding provenance in
+// the snapshot manifest. The model weights themselves are identical in form
+// to a cold fit's — this is metadata about how the solve started, not about
+// the solution.
+type WarmStartInfo struct {
+	// FromVersion is the snapshot version whose models seeded the fit.
+	FromVersion string `json:"from_version"`
+	// MatchedRows is the total number of prior support vectors re-matched
+	// against the new design matrix, summed over both models.
+	MatchedRows int `json:"matched_rows"`
 }
 
 // ModelInfo is one model's solver statistics, frozen into the manifest.
@@ -123,8 +138,8 @@ func CurrentSchema() Schema {
 	}
 }
 
-// equal reports whether two schemas describe the same feature layout.
-func (s Schema) equal(o Schema) bool {
+// Equal reports whether two schemas describe the same feature layout.
+func (s Schema) Equal(o Schema) bool {
 	if s.Dim != o.Dim || s.CoreLo != o.CoreLo || s.CoreHi != o.CoreHi ||
 		s.MemLo != o.MemLo || s.MemHi != o.MemHi || len(s.Names) != len(o.Names) {
 		return false
@@ -532,7 +547,7 @@ func (s *Store) LoadFull(device, version string) (*core.Models, *Fronts, Manifes
 	if err != nil {
 		return nil, nil, Manifest{}, err
 	}
-	if !sf.Manifest.Schema.equal(CurrentSchema()) {
+	if !sf.Manifest.Schema.Equal(CurrentSchema()) {
 		return nil, nil, Manifest{}, fmt.Errorf("registry: %s/%s: snapshot feature schema is incompatible with this binary",
 			device, version)
 	}

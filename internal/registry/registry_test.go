@@ -23,7 +23,7 @@ var trainOnce struct {
 
 // trainSmall fits (once per test binary) a small but real model set for
 // snapshot tests. The models are treated as read-only by every test.
-func trainSmall(t *testing.T) (*engine.Engine, *core.Models) {
+func trainSmall(t testing.TB) (*engine.Engine, *core.Models) {
 	t.Helper()
 	trainOnce.Do(func() {
 		trainOnce.eng = engine.NewDefault(engine.Options{
@@ -54,7 +54,7 @@ func TestSaveLoadRoundTripBitIdentical(t *testing.T) {
 	if man.Hash == "" || man.Device != "titanx" || man.SpeedupModel.SupportVectors != models.Speedup.NumSV() {
 		t.Fatalf("incomplete manifest: %+v", man)
 	}
-	if !man.Schema.equal(CurrentSchema()) {
+	if !man.Schema.Equal(CurrentSchema()) {
 		t.Fatalf("manifest schema %+v != current %+v", man.Schema, CurrentSchema())
 	}
 

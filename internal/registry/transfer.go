@@ -80,7 +80,7 @@ func (s *Store) ImportDoc(doc []byte) (Manifest, error) {
 	if _, err := decode(man.Device, man.Version, doc); err != nil {
 		return Manifest{}, err
 	}
-	if !man.Schema.equal(CurrentSchema()) {
+	if !man.Schema.Equal(CurrentSchema()) {
 		return Manifest{}, fmt.Errorf("%w: %s/%s was recorded under a different feature schema",
 			ErrIncompatible, man.Device, man.Version)
 	}
@@ -178,7 +178,7 @@ func (s *Store) Nearest(target string, dist func(device string) (float64, bool))
 			continue
 		}
 		man, err := s.GetManifest(dev, st.Version)
-		if err != nil || !man.Schema.equal(cur) {
+		if err != nil || !man.Schema.Equal(cur) {
 			continue
 		}
 		dd, ok := dist(dev)

@@ -1,0 +1,24 @@
+package svm
+
+// Test-only exports: the external property-test package (svm_test) applies
+// the svmtest KKT checker to every model class this suite trains, including
+// the preserved reference solver — which internal test files cannot do
+// themselves, because package svm's own tests may not import svmtest
+// (svmtest imports svm).
+
+// RefTrainModel runs the preserved pre-overhaul reference solver and wraps
+// its output as a public Model, so external tests can verify the reference
+// implementation with the same checkers as the production solver.
+func RefTrainModel(xs [][]float64, ys []float64, k Kernel, p Params) *Model {
+	rm := refTrain(xs, ys, k, p)
+	m := &Model{
+		SupportVectors: rm.SupportVectors,
+		Coefs:          rm.Coefs,
+		B:              rm.B,
+		kernel:         k,
+		Iters:          rm.Iters,
+		Converged:      rm.Converged,
+	}
+	m.finalize()
+	return m
+}

@@ -1,0 +1,180 @@
+package svmtest_test
+
+// The warm/cold equivalence battery — the contract that makes warm-started
+// retraining trustworthy: for every combination of GPU profile (Titan X,
+// P100), objective kernel (linear speedup, RBF energy), and corpus delta
+// (0%, 1%, 10%, 50% changed rows), a warm-started fit must
+//
+//   - converge and pass the KKT checker at the same tolerance as the cold
+//     fit on the same rows,
+//   - agree with the cold fit's holdout RMSE within 1e-6, and
+//   - at 0% delta, reproduce the prior model bit-for-bit (equal content
+//     signatures).
+//
+// The corpora are real simulated-measurement training sets built through
+// the engine, not synthetic toys, so the battery exercises the exact data
+// shapes the adaptation loop retrains on.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gpu"
+	"repro/internal/measure"
+	"repro/internal/nvml"
+	"repro/internal/svm"
+	"repro/internal/svm/svmtest"
+)
+
+// batteryOptions are the paper's hyper-parameters at a tight tolerance:
+// 1e-8 instead of the serving default 1e-3, so "equivalent" is judged where
+// the dual optimum is pinned sharply enough for the 1e-6 RMSE bound to be
+// meaningful (at 1e-6 two converged linear-kernel fits can still disagree
+// by a few 1e-6 in holdout RMSE — the within-tolerance optimum ball is
+// wider than the bound).
+func batteryOptions() core.Options {
+	return core.Options{
+		SettingsPerKernel: 6,
+		// The linear kernel's positive-semidefinite dual has slow terminal
+		// directions at this tolerance; the iteration cap must leave room
+		// for them (the fits still take well under a second each).
+		Params: svm.Params{C: 1000, Epsilon: 0.1, Tol: 1e-8, MaxIter: 40_000_000},
+	}.WithDefaults()
+}
+
+// batteryCorpus builds one profile's corpora: the base training set, a pool
+// of replacement rows (disjoint kernels, same device) that model "changed
+// rows", and a holdout set for the RMSE-equivalence check.
+func batteryCorpus(t *testing.T, dev *gpu.Device) (base, pool, holdout []core.Sample) {
+	t.Helper()
+	opt := batteryOptions()
+	eng := engine.New(measure.NewHarness(nvml.NewDevice(dev)), engine.Options{Core: opt})
+	kernels := engine.TrainingKernels()
+	build := func(ks []core.TrainingKernel) []core.Sample {
+		s, err := eng.BuildTrainingSet(t.Context(), ks)
+		if err != nil {
+			t.Fatalf("building corpus on %s: %v", dev.Name, err)
+		}
+		return s
+	}
+	return build(kernels[:16]), build(kernels[16:30]), build(kernels[30:36])
+}
+
+// fitPair returns the cold and warm fits of one matrix (warm seeded from
+// prior), with both models of each pair verified against the KKT checker.
+func fitPair(t *testing.T, label string, m *core.TrainingMatrix, prior *core.Models) (cold, warm *core.Models) {
+	t.Helper()
+	opt := batteryOptions()
+	cold, err := core.TrainMatrix(m, opt, nil)
+	if err != nil {
+		t.Fatalf("%s: cold fit: %v", label, err)
+	}
+	warm, err = core.TrainMatrix(m, opt, prior)
+	if err != nil {
+		t.Fatalf("%s: warm fit: %v", label, err)
+	}
+	for _, mc := range []struct {
+		name   string
+		model  *svm.Model
+		ys     []float64
+		kernel svm.Kernel
+	}{
+		{"cold/speedup", cold.Speedup, m.Speedup, opt.SpeedupKernel},
+		{"cold/energy", cold.Energy, m.Energy, opt.EnergyKernel},
+		{"warm/speedup", warm.Speedup, m.Speedup, opt.SpeedupKernel},
+		{"warm/energy", warm.Energy, m.Energy, opt.EnergyKernel},
+	} {
+		if !mc.model.Converged {
+			t.Fatalf("%s: %s did not converge (%d iters)", label, mc.name, mc.model.Iters)
+		}
+		if err := svmtest.VerifyKKT(mc.model, m.Rows, mc.ys, opt.Params, 0); err != nil {
+			t.Errorf("%s: %s: %v", label, mc.name, err)
+		}
+	}
+	return cold, warm
+}
+
+func TestWarmColdEquivalenceBattery(t *testing.T) {
+	profiles := []struct {
+		name string
+		dev  *gpu.Device
+	}{
+		{"titanx", gpu.TitanX()},
+		{"p100", gpu.P100()},
+	}
+	deltas := []int{0, 1, 10, 50} // percent of base rows replaced
+
+	for _, prof := range profiles {
+		prof := prof
+		t.Run(prof.name, func(t *testing.T) {
+			base, pool, holdout := batteryCorpus(t, prof.dev)
+			opt := batteryOptions()
+			holdM := core.NewTrainingMatrix(holdout)
+			prior, err := core.TrainMatrix(core.NewTrainingMatrix(base), opt, nil)
+			if err != nil {
+				t.Fatalf("prior fit: %v", err)
+			}
+
+			for _, pct := range deltas {
+				pct := pct
+				t.Run(fmt.Sprintf("delta-%d%%", pct), func(t *testing.T) {
+					changed := len(base) * pct / 100
+					if pct > 0 && changed == 0 {
+						changed = 1
+					}
+					if changed > len(pool) {
+						t.Fatalf("delta %d%% needs %d replacement rows, pool has %d", pct, changed, len(pool))
+					}
+					corpus := append([]core.Sample{}, base...)
+					copy(corpus, pool[:changed])
+					m := core.NewTrainingMatrix(corpus)
+
+					cold, warm := fitPair(t, fmt.Sprintf("%s/%d%%", prof.name, pct), m, prior)
+
+					for _, obj := range []struct {
+						name       string
+						cold, warm *svm.Model
+						ys         []float64
+					}{
+						{"speedup", cold.Speedup, warm.Speedup, holdM.Speedup},
+						{"energy", cold.Energy, warm.Energy, holdM.Energy},
+					} {
+						if err := svmtest.Equivalent(obj.cold, obj.warm, holdM.Rows, obj.ys, 1e-6); err != nil {
+							t.Errorf("%s: %v", obj.name, err)
+						}
+					}
+
+					if pct == 0 {
+						// Determinism pin: an unchanged corpus must
+						// reproduce the active models bit-for-bit.
+						for _, pair := range []struct {
+							name        string
+							prior, warm *svm.Model
+						}{
+							{"speedup", prior.Speedup, warm.Speedup},
+							{"energy", prior.Energy, warm.Energy},
+						} {
+							ps, err := svmtest.Signature(pair.prior)
+							if err != nil {
+								t.Fatal(err)
+							}
+							ws, err := svmtest.Signature(pair.warm)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if ps != ws {
+								t.Errorf("%s: 0%%-delta warm fit is not bit-identical to the prior (prior %s, warm %s)",
+									pair.name, ps[:12], ws[:12])
+							}
+							if pair.warm.Warm == nil || !pair.warm.Warm.Reused {
+								t.Errorf("%s: 0%%-delta fit did not report seed reuse: %+v", pair.name, pair.warm.Warm)
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}

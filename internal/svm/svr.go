@@ -34,6 +34,20 @@ type Params struct {
 	// re-checks every variable before declaring convergence, so the
 	// stopping criterion is identical either way.
 	DisableShrinking bool
+	// WarmStart seeds the solver from a previously trained model instead of
+	// from zero: the prior's support vectors are re-matched against the new
+	// design matrix by bit-exact row identity, matched rows start at their
+	// prior β, changed or added rows enter at β = 0, and dropped support
+	// vectors have their mass projected back onto the feasible set before
+	// the first iteration. When the training set is the old corpus ± a
+	// small window, most variables are already KKT-optimal and the fit
+	// converges in a fraction of the cold iterations — with an unchanged
+	// set it reproduces the prior model bit-identically (Model.Warm.Reused).
+	// The prior must use the same kernel and feature dimension; Train
+	// errors loudly otherwise. The trained model is always converged to the
+	// same tolerance as a cold fit — warm-starting changes the SMO
+	// trajectory, never the stopping criterion.
+	WarmStart *Model
 }
 
 // Model is a trained ε-SVR: f(x) = Σ coef_i·K(sv_i, x) + b.
@@ -45,6 +59,10 @@ type Model struct {
 	// Iters and Converged describe the training run.
 	Iters     int
 	Converged bool
+	// Warm reports how a warm-started fit was seeded (nil for cold fits).
+	// It is training-run metadata, not part of the model weights, and is
+	// never serialized.
+	Warm *WarmInfo
 
 	// Prediction fast paths, derived once by finalize: the support
 	// vectors are flattened into one contiguous row-major matrix, linear
@@ -246,10 +264,21 @@ func Train(xs [][]float64, ys []float64, k Kernel, p Params) (*Model, error) {
 		}
 	}
 
+	var seed *warmSeed
+	if p.WarmStart != nil {
+		var err error
+		if seed, err = buildWarmSeed(p.WarmStart, xs, k, p.C); err != nil {
+			return nil, fmt.Errorf("svm: warm start: %w", err)
+		}
+	}
+
 	s := &solver{
 		ys: ys,
 		n:  n, c: p.C, eps: p.Epsilon, tol: p.Tol,
 		cache: newRowCache(k, newDesignMatrix(xs), p.CacheRows),
+	}
+	if seed != nil {
+		s.warm = seed.beta
 	}
 	iters, converged := s.solve(maxIter, !p.DisableShrinking)
 
@@ -263,6 +292,17 @@ func Train(xs [][]float64, ys []float64, k Kernel, p Params) (*Model, error) {
 		}
 	}
 	m.B = s.offset()
+	if seed != nil {
+		info := seed.info
+		// An exact seed the solver accepted without moving a single
+		// variable IS the prior dual solution on identical rows: carry the
+		// prior offset over verbatim so the retrain is bit-identical
+		// (offset() would re-derive the same b up to summation order).
+		if info.Reused = seed.exact && converged && !s.moved && p.WarmStart.Converged; info.Reused {
+			m.B = p.WarmStart.B
+		}
+		m.Warm = &info
+	}
 	m.finalize()
 	return m, nil
 }
@@ -305,6 +345,9 @@ type solver struct {
 	baseActive  []bool // len n, membership mask for activeBases
 	fullActive  bool   // active covers all 2n variables
 	unshrunk    bool   // the one-time near-convergence unshrink happened
+
+	warm  []float64 // per-row initial β (nil = cold start from zero)
+	moved bool      // any update changed an alpha (warm-reuse detection)
 }
 
 func (s *solver) z(a int) float64 {
@@ -326,8 +369,12 @@ func (s *solver) solve(maxIter int, shrinking bool) (int, bool) {
 	n2 := 2 * s.n
 	s.alpha = make([]float64, n2)
 	s.grad = make([]float64, n2)
-	for a := 0; a < n2; a++ {
-		s.grad[a] = s.p(a) // alpha = 0 initially
+	if s.warm != nil {
+		s.seedWarm(s.warm)
+	} else {
+		for a := 0; a < n2; a++ {
+			s.grad[a] = s.p(a) // alpha = 0 initially
+		}
 	}
 	s.baseActive = make([]bool, s.n)
 	s.activateAll()
@@ -548,6 +595,7 @@ func (s *solver) update(i, j int) {
 	if dAi == 0 && dAj == 0 {
 		return
 	}
+	s.moved = true
 	// Gradient update over active bases: G_a += Q_ai dAi + Q_aj dAj,
 	// exploiting the block structure Q_ab = z_a z_b K_(a%n)(b%n). Both
 	// entries of a base share one kernel term, so updating the pair costs

@@ -1,0 +1,208 @@
+package svm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+)
+
+// WarmInfo reports how a warm-started fit was seeded from the prior model.
+// It lives on the trained Model for status/manifest reporting and is never
+// serialized: a saved-and-reloaded model carries only its weights, so the
+// persisted form (and its content hash) is identical whether the fit was
+// warm or cold.
+type WarmInfo struct {
+	// Matched counts the prior support vectors re-matched against the new
+	// design matrix by row identity.
+	Matched int
+	// Dropped counts the prior support vectors with no matching row; their
+	// coefficient mass is projected back onto the feasible set before the
+	// first iteration.
+	Dropped int
+	// Clamped counts matched coefficients that had to be clipped into the
+	// current box constraint [-C, C] (only possible when C changed between
+	// fits).
+	Clamped int
+	// Projected is the total coefficient mass the feasibility projection
+	// moved to restore the equality constraint Σβ = 0 after drops or clamps.
+	Projected float64
+	// Reused reports that the solver accepted the seed without moving any
+	// variable and the prior offset was carried over verbatim — the
+	// warm-started model is bit-identical to the prior one.
+	Reused bool
+}
+
+// warmSeed is the solver's starting point derived from a prior model: one
+// initial β per training row, plus the seeding report.
+type warmSeed struct {
+	beta []float64
+	info WarmInfo
+	// exact marks a seed that reproduces the prior dual state verbatim:
+	// every prior support vector matched and nothing was clamped or
+	// projected. Only an exact seed may reuse the prior offset.
+	exact bool
+}
+
+// sameKernel reports whether two kernels are interchangeable for
+// warm-starting: same dynamic type and (for comparable types) same
+// parameters. Non-comparable user-supplied kernels never match — a seed
+// under a different kernel geometry would be silently wrong, so Train
+// rejects it loudly instead.
+func sameKernel(a, b Kernel) bool {
+	ta, tb := reflect.TypeOf(a), reflect.TypeOf(b)
+	if ta != tb || ta == nil || !ta.Comparable() {
+		return false
+	}
+	return a == b
+}
+
+// rowKey maps a feature row to its exact bit pattern, the identity used to
+// re-match prior support vectors against the new design matrix. Matching is
+// bitwise on purpose: a row whose features changed by even one ulp is a
+// different observation and must re-enter at β = 0.
+func rowKey(x []float64) string {
+	b := make([]byte, 8*len(x))
+	for i, v := range x {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return string(b)
+}
+
+// buildWarmSeed derives the solver's initial β vector from a prior model:
+// prior support vectors are matched to rows of xs by bit-exact row identity
+// (duplicated rows consume duplicate support vectors in order), unmatched
+// rows enter at β = 0, and the mass of dropped support vectors is projected
+// back onto the feasible set (Σβ = 0, |β| ≤ C) before the first iteration.
+func buildWarmSeed(prior *Model, xs [][]float64, k Kernel, c float64) (*warmSeed, error) {
+	if !sameKernel(k, prior.kernel) {
+		return nil, fmt.Errorf("kernel mismatch: prior %v, new %v", prior.kernel, k)
+	}
+	nsv := prior.NumSV()
+	if nsv > 0 && len(xs) > 0 && prior.svDim != len(xs[0]) {
+		return nil, fmt.Errorf("dimension mismatch: prior %d, new %d", prior.svDim, len(xs[0]))
+	}
+
+	// FIFO queues per row identity, so weight-replicated duplicate rows each
+	// consume one of the prior's duplicate support vectors.
+	byKey := make(map[string][]int, nsv)
+	for j := range prior.SupportVectors {
+		key := rowKey(prior.SupportVectors[j])
+		byKey[key] = append(byKey[key], j)
+	}
+
+	seed := &warmSeed{beta: make([]float64, len(xs))}
+	for i, x := range xs {
+		key := rowKey(x)
+		q := byKey[key]
+		if len(q) == 0 {
+			continue
+		}
+		byKey[key] = q[1:]
+		b := prior.Coefs[q[0]]
+		if b > c {
+			b, seed.info.Clamped = c, seed.info.Clamped+1
+		} else if b < -c {
+			b, seed.info.Clamped = -c, seed.info.Clamped+1
+		}
+		seed.beta[i] = b
+		seed.info.Matched++
+	}
+	seed.info.Dropped = nsv - seed.info.Matched
+
+	// Feasibility projection: the dual requires Σβ = 0 exactly (SMO updates
+	// preserve the sum, so an infeasible start could never be repaired).
+	// Residues at the support-vector cutoff scale (the solver drops
+	// |β| ≤ 1e-12 when collecting a model) are left alone — smearing them
+	// across rows would perturb an otherwise exact seed for no benefit.
+	sum := 0.0
+	for _, b := range seed.beta {
+		sum += b
+	}
+	if thresh := 1e-9 * math.Max(1, c); math.Abs(sum) > thresh {
+		seed.info.Projected = projectBalance(seed.beta, c, sum)
+	}
+	seed.exact = seed.info.Dropped == 0 && seed.info.Clamped == 0 && seed.info.Projected == 0
+	return seed, nil
+}
+
+// projectBalance restores Σβ = 0 and returns the total mass moved. It
+// prefers shrinking same-sign coefficients toward zero — the seeds that
+// carried the dropped rows' slack are the ones most likely to be stale —
+// and only if the imbalance survives that does it push other rows toward
+// the opposite bound. Shrink-first matters for seed quality: dumping the
+// imbalance onto arbitrary rows at up to ±C hands the solver a near-
+// adversarial start, while shrinking keeps every coefficient inside the
+// envelope of plausible solutions. The projection only affects the
+// starting point's quality, never the fit's correctness: any feasible
+// seed converges to the same KKT tolerance.
+func projectBalance(beta []float64, c, sum float64) float64 {
+	moved := 0.0
+	take := func(i int, room float64) {
+		d := math.Min(math.Abs(sum), room)
+		if d <= 0 {
+			return
+		}
+		if sum > 0 {
+			beta[i] -= d
+			sum -= d
+		} else {
+			beta[i] += d
+			sum += d
+		}
+		moved += d
+	}
+	// Pass 1: shrink coefficients of the imbalance's own sign toward zero.
+	for i := range beta {
+		if sum == 0 {
+			return moved
+		}
+		if sum > 0 && beta[i] > 0 {
+			take(i, beta[i])
+		} else if sum < 0 && beta[i] < 0 {
+			take(i, -beta[i])
+		}
+	}
+	// Pass 2: the residue exceeds all same-sign mass; spread it over the
+	// remaining box slack.
+	for i := range beta {
+		if sum == 0 {
+			break
+		}
+		if sum > 0 {
+			take(i, beta[i]+c)
+		} else {
+			take(i, c-beta[i])
+		}
+	}
+	return moved
+}
+
+// seedWarm installs a warm seed as the solver's starting state: alphas from
+// the per-row betas (β > 0 fills the αᵢ block, β < 0 the αᵢ* block) and the
+// gradient reconstructed incrementally from the matched rows only —
+// G_a = p_a + z_a f_(a%n) with f_i = Σ_j β_j K_ij accumulated with one
+// cached kernel row per nonzero β, the same identity unshrink uses. A cold
+// start is the special case β = 0, f = 0, G_a = p_a.
+func (s *solver) seedWarm(beta []float64) {
+	n := s.n
+	f := make([]float64, n)
+	for j, b := range beta {
+		if b == 0 {
+			continue
+		}
+		if b > 0 {
+			s.alpha[j] = b
+		} else {
+			s.alpha[j+n] = -b
+		}
+		row := s.cache.row(j)
+		for i := 0; i < n; i++ {
+			f[i] += b * row[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		s.grad[i] = s.p(i) + f[i]
+		s.grad[i+n] = s.p(i+n) - f[i]
+	}
+}

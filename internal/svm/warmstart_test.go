@@ -1,0 +1,274 @@
+package svm
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// warmData builds a deterministic nonlinear regression set (for RBF fits).
+func warmData(n int, seed uint64) ([][]float64, []float64) {
+	d := &det{s: seed}
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x1, x2 := 2*d.next()-1, 2*d.next()-1
+		xs[i] = []float64{x1, x2}
+		ys[i] = math.Sin(2*x1) + 0.5*x2*x2 + 0.3*x1*x2
+	}
+	return xs, ys
+}
+
+// warmLinData builds a deterministic linear regression set: a linear-kernel
+// fit on a nonlinear target never reaches the stopping tolerance, so tests
+// that need a converged Linear prior must use a target the kernel can fit.
+func warmLinData(n int, seed uint64) ([][]float64, []float64) {
+	d := &det{s: seed}
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x1, x2 := 2*d.next()-1, 2*d.next()-1
+		xs[i] = []float64{x1, x2}
+		ys[i] = 1.5*x1 - 0.7*x2 + 0.05*(d.next()-0.5)
+	}
+	return xs, ys
+}
+
+func modelBytes(t *testing.T, m *Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestWarmStartIdenticalCorpusBitIdentical is the svm-layer determinism
+// pin: re-fitting on the exact same rows with WarmStart set must accept the
+// seed without a single iteration and reproduce the prior model
+// bit-identically, offset included.
+func TestWarmStartIdenticalCorpusBitIdentical(t *testing.T) {
+	for _, k := range []Kernel{Linear{}, RBF{Gamma: 2}} {
+		var xs [][]float64
+		var ys []float64
+		if k == (Kernel)(Linear{}) {
+			xs, ys = warmLinData(160, 7)
+		} else {
+			xs, ys = warmData(160, 7)
+		}
+		cold, err := Train(xs, ys, k, paperParams)
+		if err != nil {
+			t.Fatalf("%v cold: %v", k, err)
+		}
+		if !cold.Converged {
+			t.Fatalf("%v: cold prior did not converge", k)
+		}
+		p := paperParams
+		p.WarmStart = cold
+		warm, err := Train(xs, ys, k, p)
+		if err != nil {
+			t.Fatalf("%v warm: %v", k, err)
+		}
+		if warm.Warm == nil {
+			t.Fatalf("%v: warm fit reported no WarmInfo", k)
+		}
+		if !warm.Warm.Reused {
+			t.Errorf("%v: identical corpus not reused: %+v", k, *warm.Warm)
+		}
+		if warm.Iters != 0 {
+			t.Errorf("%v: identical corpus took %d iterations, want 0", k, warm.Iters)
+		}
+		if got, want := modelBytes(t, warm), modelBytes(t, cold); !bytes.Equal(got, want) {
+			t.Errorf("%v: warm model is not bit-identical to the prior", k)
+		}
+	}
+}
+
+// TestWarmStartConvergesFasterOnDelta pins the point of the feature: on the
+// workload adaptation produces — an unchanged base corpus with a handful of
+// new rows folded in — the warm fit must converge in far fewer iterations
+// than the cold fit, to an equally valid solution.
+func TestWarmStartConvergesFasterOnDelta(t *testing.T) {
+	xs, ys := warmData(400, 11)
+	cold, err := Train(xs, ys, RBF{Gamma: 2}, paperParams)
+	if err != nil {
+		t.Fatalf("base: %v", err)
+	}
+	// Fold in 2.5% new rows, the adapt-loop shape.
+	extraXs, extraYs := warmData(10, 99)
+	xs2 := append(append([][]float64{}, xs...), extraXs...)
+	ys2 := append(append([]float64{}, ys...), extraYs...)
+
+	cold2, err := Train(xs2, ys2, RBF{Gamma: 2}, paperParams)
+	if err != nil {
+		t.Fatalf("cold refit: %v", err)
+	}
+	p := paperParams
+	p.WarmStart = cold
+	warm2, err := Train(xs2, ys2, RBF{Gamma: 2}, p)
+	if err != nil {
+		t.Fatalf("warm refit: %v", err)
+	}
+	if !warm2.Converged {
+		t.Fatal("warm refit did not converge")
+	}
+	if warm2.Warm.Matched == 0 || warm2.Warm.Dropped != 0 {
+		t.Errorf("unexpected seeding report: %+v", *warm2.Warm)
+	}
+	if warm2.Iters*2 >= cold2.Iters {
+		t.Errorf("warm refit took %d iterations vs cold %d, want < half", warm2.Iters, cold2.Iters)
+	}
+	// Both fits must predict near-identically on the training rows.
+	for i := 0; i < len(xs2); i += 7 {
+		if d := math.Abs(warm2.Predict(xs2[i]) - cold2.Predict(xs2[i])); d > 1e-2 {
+			t.Fatalf("row %d: warm and cold predictions diverged by %g", i, d)
+		}
+	}
+}
+
+// TestWarmStartDroppedMassProjected removes rows that carried support
+// vectors: the dropped mass must be projected back onto the feasible set
+// and the fit must still converge.
+func TestWarmStartDroppedMassProjected(t *testing.T) {
+	xs, ys := warmData(150, 3)
+	base, err := Train(xs, ys, RBF{Gamma: 2}, paperParams)
+	if err != nil {
+		t.Fatalf("base: %v", err)
+	}
+	// Keep only the first two thirds of the rows.
+	cut := 2 * len(xs) / 3
+	p := paperParams
+	p.WarmStart = base
+	warm, err := Train(xs[:cut], ys[:cut], RBF{Gamma: 2}, p)
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if !warm.Converged {
+		t.Fatal("warm fit on the truncated corpus did not converge")
+	}
+	if warm.Warm.Dropped == 0 {
+		t.Errorf("expected dropped support vectors, got %+v", *warm.Warm)
+	}
+	if warm.Warm.Reused {
+		t.Error("a lossy seed must never reuse the prior offset")
+	}
+	// The projection must have restored Σβ = 0 on the seed; the trained
+	// model's coefficients inherit it.
+	sum := 0.0
+	for _, c := range warm.Coefs {
+		sum += c
+	}
+	if math.Abs(sum) > 1e-6*paperParams.C {
+		t.Errorf("Σβ = %g after projection and refit", sum)
+	}
+}
+
+// TestWarmStartDuplicateRows exercises the FIFO row-identity matching with
+// weight-replicated duplicate rows, the shape adapt's fold-in produces.
+func TestWarmStartDuplicateRows(t *testing.T) {
+	xs, ys := warmLinData(60, 5)
+	// Replicate the first 10 rows three times, as ObservationWeight does.
+	for i := 0; i < 10; i++ {
+		for r := 0; r < 2; r++ {
+			xs = append(xs, xs[i])
+			ys = append(ys, ys[i])
+		}
+	}
+	base, err := Train(xs, ys, Linear{}, paperParams)
+	if err != nil {
+		t.Fatalf("base: %v", err)
+	}
+	p := paperParams
+	p.WarmStart = base
+	warm, err := Train(xs, ys, Linear{}, p)
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if !warm.Warm.Reused {
+		t.Errorf("duplicate-row corpus not reused: %+v", *warm.Warm)
+	}
+	if got, want := modelBytes(t, warm), modelBytes(t, base); !bytes.Equal(got, want) {
+		t.Error("duplicate-row warm refit is not bit-identical")
+	}
+}
+
+// TestWarmStartRejectsMismatches pins the loud-failure contract for
+// incompatible seeds.
+func TestWarmStartRejectsMismatches(t *testing.T) {
+	xs, ys := warmData(50, 1)
+	base, err := Train(xs, ys, RBF{Gamma: 2}, paperParams)
+	if err != nil {
+		t.Fatalf("base: %v", err)
+	}
+	p := paperParams
+	p.WarmStart = base
+	if _, err := Train(xs, ys, Linear{}, p); err == nil {
+		t.Error("kernel mismatch accepted")
+	}
+	if _, err := Train(xs, ys, RBF{Gamma: 3}, p); err == nil {
+		t.Error("kernel parameter mismatch accepted")
+	}
+	xs3 := make([][]float64, len(xs))
+	for i, x := range xs {
+		xs3[i] = []float64{x[0], x[1], 1}
+	}
+	if _, err := Train(xs3, ys, RBF{Gamma: 2}, p); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+// TestWarmStartClampsForeignBox seeds from a model trained with a larger C:
+// out-of-box coefficients must be clamped, reported, and never reused.
+func TestWarmStartClampsForeignBox(t *testing.T) {
+	xs, ys := warmData(80, 13)
+	big := Params{C: 1000, Epsilon: 0.01}
+	base, err := Train(xs, ys, RBF{Gamma: 2}, big)
+	if err != nil {
+		t.Fatalf("base: %v", err)
+	}
+	atBound := 0
+	for _, c := range base.Coefs {
+		if math.Abs(c) > 1 {
+			atBound++
+		}
+	}
+	if atBound == 0 {
+		t.Skip("no coefficients above the smaller box; dataset too easy")
+	}
+	small := Params{C: 1, Epsilon: 0.01, WarmStart: base}
+	warm, err := Train(xs, ys, RBF{Gamma: 2}, small)
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if warm.Warm.Clamped == 0 {
+		t.Errorf("expected clamped coefficients, got %+v", *warm.Warm)
+	}
+	if warm.Warm.Reused {
+		t.Error("a clamped seed must never reuse the prior offset")
+	}
+	for i, c := range warm.Coefs {
+		if math.Abs(c) > 1+1e-9 {
+			t.Fatalf("coefficient %d = %g escaped the box", i, c)
+		}
+	}
+}
+
+func TestProjectBalance(t *testing.T) {
+	beta := []float64{0.5, -0.25, 0}
+	moved := projectBalance(beta, 1, 0.25)
+	if moved <= 0 {
+		t.Fatalf("no mass moved")
+	}
+	sum := 0.0
+	for _, b := range beta {
+		sum += b
+	}
+	if math.Abs(sum) > 1e-12 {
+		t.Errorf("Σβ = %g after projection", sum)
+	}
+	for i, b := range beta {
+		if math.Abs(b) > 1 {
+			t.Errorf("beta[%d] = %g outside box", i, b)
+		}
+	}
+}
