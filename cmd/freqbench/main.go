@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	freqbench [-exp fig1|fig4|fig5|fig6|fig7|fig8|table2|policy|p100|adapt|hotpath|all] [-settings 40] [-workers 0]
+//	freqbench [-exp fig1|fig4|fig5|fig6|fig7|fig8|table2|policy|budget|p100|adapt|hotpath|all] [-settings 40] [-workers 0]
 //	          [-model-dir DIR]
 //
 // fig6/fig7/fig8/table2 train the models on the full 106-micro-benchmark
@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1, fig4, fig5, fig6, fig7, fig8, table2, policy, p100, adapt, hotpath, all")
+	exp := flag.String("exp", "all", "experiment: fig1, fig4, fig5, fig6, fig7, fig8, table2, policy, budget, p100, adapt, hotpath, all")
 	settings := flag.Int("settings", 40, "sampled frequency settings per training kernel")
 	workers := flag.Int("workers", 0, "training/prediction worker pool size (0 = NumCPU)")
 	modelDir := flag.String("model-dir", "", "model registry directory (use the active titanx snapshot instead of training)")
@@ -108,6 +108,12 @@ func run(s *experiments.Suite, exp string) error {
 			return err
 		}
 		experiments.RenderPolicyEval(w, tables)
+	case "budget":
+		tables, err := experiments.BudgetEval(s.Engine().Options())
+		if err != nil {
+			return err
+		}
+		experiments.RenderBudgetEval(w, tables)
 	case "p100":
 		r, err := experiments.PortabilityP100(s.Engine().Options().Core)
 		if err != nil {
@@ -130,7 +136,7 @@ func run(s *experiments.Suite, exp string) error {
 		}
 		experiments.RenderAdaptReport(w, rep)
 	case "all":
-		for _, e := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "table2", "policy", "hotpath", "adapt"} {
+		for _, e := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "table2", "policy", "budget", "hotpath", "adapt"} {
 			if err := run(s, e); err != nil {
 				return err
 			}

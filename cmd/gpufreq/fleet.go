@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
 	"repro/internal/fleet"
@@ -12,18 +13,21 @@ import (
 // cmdFleet dispatches the fleet subcommands against a running gpufreqd
 // control plane: `gpufreq fleet nodes` prints the node directory with
 // sync verdicts, `gpufreq fleet push` re-fans-out every device's active
-// snapshot to its stale nodes.
+// snapshot to its stale nodes, `gpufreq fleet budget` inspects or sets
+// the fleet energy budget.
 func cmdFleet(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: gpufreq fleet <nodes|push> [-addr URL]")
+		return fmt.Errorf("usage: gpufreq fleet <nodes|push|budget> [-addr URL]")
 	}
 	switch args[0] {
 	case "nodes":
 		return cmdFleetNodes(args[1:])
 	case "push":
 		return cmdFleetPush(args[1:])
+	case "budget":
+		return cmdFleetBudget(args[1:])
 	default:
-		return fmt.Errorf("unknown fleet subcommand %q; valid: nodes, push", args[0])
+		return fmt.Errorf("unknown fleet subcommand %q; valid: nodes, push, budget", args[0])
 	}
 }
 
@@ -83,4 +87,99 @@ func cmdFleetPush(args []string) error {
 		return fmt.Errorf("%d push(es) failed; stale nodes converge on their next heartbeat", len(report.Errors))
 	}
 	return nil
+}
+
+// cmdFleetBudget inspects or sets the fleet energy budget. With no flags
+// it prints the current budget, plan, and per-node delivery state; -set
+// installs a new budget total (with -unit) and -replan re-solves under
+// the existing one. Both mutations print the resulting status.
+func cmdFleetBudget(args []string) error {
+	fs := flag.NewFlagSet("fleet budget", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "control plane base URL")
+	set := fs.String("set", "", "install this budget total (normalized; one default-clock node = 1.0)")
+	unit := fs.String("unit", "", "budget unit for -set: power or energy (default power)")
+	replan := fs.Bool("replan", false, "re-solve the allocation under the existing budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var status fleet.BudgetStatusResponse
+	switch {
+	case *set != "":
+		total, err := strconv.ParseFloat(*set, 64)
+		if err != nil {
+			return fmt.Errorf("-set %q: not a number", *set)
+		}
+		req := fleet.BudgetRequest{Total: &total, Unit: *unit}
+		if err := postJSON(*addr, "/fleet/budget", req, &status); err != nil {
+			return err
+		}
+	case *replan:
+		if err := postJSON(*addr, "/fleet/budget", fleet.BudgetRequest{Replan: true}, &status); err != nil {
+			return err
+		}
+	default:
+		if *unit != "" {
+			return fmt.Errorf("-unit only applies with -set")
+		}
+		if err := getJSON(*addr, "/fleet/budget", &status); err != nil {
+			return err
+		}
+	}
+	printBudgetStatus(status)
+	return nil
+}
+
+// printBudgetStatus renders a BudgetStatusResponse for the terminal.
+func printBudgetStatus(status fleet.BudgetStatusResponse) {
+	if !status.Set {
+		fmt.Println("no fleet budget set (gpufreq fleet budget -set TOTAL [-unit power|energy])")
+		return
+	}
+	fmt.Printf("budget: %.4g %s (one default-clock node = 1.0)\n",
+		status.Budget.Total, status.Budget.Unit)
+	if p := status.Plan; p != nil {
+		verdict := "feasible"
+		if !p.Feasible {
+			verdict = "INFEASIBLE (floor allocated; raise the budget)"
+		}
+		fmt.Printf("plan:   %s via %s, replan #%d at %s\n",
+			verdict, p.Strategy, status.Replans, status.PlannedAt.Format("2006-01-02 15:04:05"))
+		fmt.Printf("        fleet speedup %.4f (default clocks %.4f), cost %.4f (floor %.4f)\n",
+			p.FleetSpeedup, p.DefaultSpeedup, p.Cost, p.FloorCost)
+		fmt.Printf("        fleet power %.4f, fleet energy %.4f\n", p.FleetPower, p.FleetEnergy)
+	} else {
+		fmt.Println("plan:   none yet (no registered nodes with fronts?)")
+	}
+	if status.Stale {
+		fmt.Printf("drift:  STALE — max mix shift %.3f ≥ threshold %.3f; next observation batch replans\n",
+			status.MaxMixShift, status.MixShiftThreshold)
+	} else if status.MixShiftThreshold >= 0 {
+		fmt.Printf("drift:  max mix shift %.3f (replan threshold %.3f)\n",
+			status.MaxMixShift, status.MixShiftThreshold)
+	}
+	if len(status.Nodes) > 0 {
+		fmt.Printf("%-12s %-8s %7s %7s %-6s %10s  %s\n",
+			"node", "device", "kernels", "entries", "synced", "hash", "mix")
+		for _, n := range status.Nodes {
+			mix := "observed"
+			if n.UniformMix {
+				mix = "uniform"
+			}
+			fmt.Printf("%-12s %-8s %7d %7d %-6v %10.8s…  %s (shift %.3f)\n",
+				n.Node, n.Device, n.Kernels, n.Entries, n.Synced, orNone(n.Hash), mix, n.MixShift)
+		}
+	}
+	for _, note := range status.Notes {
+		fmt.Printf("note:   %s\n", note)
+	}
+	if lp := status.LastPush; lp != nil {
+		fmt.Printf("push:   %d/%d tables delivered", lp.Pushed, lp.Targets)
+		if lp.Skipped > 0 {
+			fmt.Printf(", %d skipped (breaker open)", lp.Skipped)
+		}
+		fmt.Println()
+		for _, e := range lp.Errors {
+			fmt.Fprintf(os.Stderr, "  push error: %s\n", e)
+		}
+	}
 }

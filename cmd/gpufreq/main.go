@@ -25,10 +25,13 @@
 //	gpufreq adapt [-addr http://localhost:8080] [-retrain]
 //	gpufreq fleet nodes [-addr http://localhost:8080]
 //	gpufreq fleet push [-addr http://localhost:8080]
+//	gpufreq fleet budget [-addr http://localhost:8080] [-set 3.5 [-unit power|energy]] [-replan]
 //
 // fleet talks to a gpufreqd running as the fleet control plane: nodes
-// prints the registered node directory with per-node sync verdicts, and
-// push re-fans-out every device's active snapshot to its stale nodes.
+// prints the registered node directory with per-node sync verdicts, push
+// re-fans-out every device's active snapshot to its stale nodes, and
+// budget inspects or sets the fleet energy budget whose per-node decision
+// tables the control plane allocates over each node's Pareto fronts.
 //
 // observe and adapt talk to a running gpufreqd: observe reports a measured
 // (kernel, configuration, speedup/energy) sample into the daemon's
@@ -132,7 +135,7 @@ Commands:
   characterize  measure a built-in test benchmark across all configurations
   observe       report a measured sample to a running gpufreqd's adaptation loop
   adapt         show (or trigger) a running gpufreqd's adaptation loop
-  fleet         inspect or re-sync a control plane's fleet (nodes, push)
+  fleet         inspect or steer a control plane's fleet (nodes, push, budget)
 
 Flags come before the positional argument, e.g.:
   gpufreq predict -model models.json kernel.cl

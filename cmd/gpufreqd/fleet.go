@@ -21,9 +21,15 @@ import (
 	"repro/internal/registry"
 )
 
+// budgetMixShift carries the -budget-mix-shift flag into mountFleet
+// (0 = fleet.DefaultMixShiftThreshold; negative disables auto-replans).
+// A package variable because servers are also built by tests, where the
+// zero value selects the default threshold.
+var budgetMixShift float64
+
 // mountFleet wires the fleet control plane into the default-mode server:
 // the daemon's own registry becomes the fleet's source of truth, and the
-// four /fleet/* management routes land on the control limiter with the
+// five /fleet/* management routes land on the control limiter with the
 // rest of the management surface. The daemon's own device is the control
 // plane's LocalDevice — its observations route into the daemon's existing
 // adaptation loop and fleet activations for it go through the same
@@ -31,10 +37,11 @@ import (
 // device never has two competing retrain loops.
 func (s *server) mountFleet(acfg adapt.Config) {
 	s.fleet = fleet.NewControl(s.store, fleet.ControlConfig{
-		Opts:         s.engine.Options(),
-		Adapt:        acfg,
-		LocalDevice:  s.device,
-		LocalObserve: s.adapt.Observe,
+		Opts:              s.engine.Options(),
+		Adapt:             acfg,
+		MixShiftThreshold: budgetMixShift,
+		LocalDevice:       s.device,
+		LocalObserve:      s.adapt.Observe,
 		LocalActivate: func(version string) error {
 			models, _, err := s.store.Load(s.device, version)
 			if err != nil {
@@ -47,6 +54,7 @@ func (s *server) mountFleet(acfg adapt.Config) {
 	s.handleControl("/fleet/observe", s.fleet.HandleObserve)
 	s.handleControl("/fleet/nodes", s.fleet.HandleNodes)
 	s.handleControl("/fleet/push", s.fleet.HandlePush)
+	s.handleControl("/fleet/budget", s.fleet.HandleBudget)
 }
 
 // newAgentServer builds the -agent mode server: only the memory-resident
@@ -73,6 +81,7 @@ func newAgentServer(e *engine.Engine, store *registry.Store, device string, limi
 	s.handleRead("/policies", s.handlePolicies)
 	s.handleControl("/observe", s.handleObserveForward)
 	s.handleControl("/fleet/snapshot", s.handleFleetSnapshot)
+	s.handleControl("/fleet/decisions", s.handleFleetDecisions)
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such endpoint %s in agent mode (see docs/API.md)", r.URL.Path)
 	})
@@ -87,6 +96,17 @@ func (s *server) handleFleetSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.agent.HandleSnapshot(w, r)
+}
+
+// handleFleetDecisions is the agent's fleet-budget target: the control
+// plane POSTs per-node decision tables here (GET returns the installed
+// one).
+func (s *server) handleFleetDecisions(w http.ResponseWriter, r *http.Request) {
+	if s.agent == nil {
+		writeError(w, http.StatusServiceUnavailable, "agent not initialized")
+		return
+	}
+	s.agent.HandleDecisions(w, r)
 }
 
 // handleObserveForward is the agent-mode /observe: the same request shape

@@ -26,6 +26,8 @@
 //	POST /fleet/observe          fleet: node-forwarded observation batches
 //	GET  /fleet/nodes            fleet: the node directory with sync verdicts
 //	POST /fleet/push             fleet: re-fan-out every active snapshot to stale nodes
+//	GET  /fleet/budget           fleet: energy-budget status — plan, per-node tables, drift
+//	POST /fleet/budget           fleet: set the budget or force a replan
 //
 // Usage:
 //
@@ -34,7 +36,7 @@
 //	         [-read-concurrency 64] [-control-concurrency 16]
 //	         [-adapt-auto] [-adapt-factor 2.0] [-adapt-min-samples 32]
 //	         [-adapt-cooldown 2m] [-adapt-capacity 1024] [-adapt-retrain-every 0]
-//	         [-adapt-max-age 0] [-obs-dir DIR]
+//	         [-adapt-max-age 0] [-obs-dir DIR] [-budget-mix-shift 0.25]
 //	         [-http-read-header-timeout 10s] [-http-read-timeout 2m]
 //	         [-http-write-timeout 5m] [-http-idle-timeout 2m]
 //	gpufreqd -agent -control URL [-node ID] [-advertise URL] [-fleet-sync 0]
@@ -148,7 +150,9 @@ func main() {
 	nodeID := flag.String("node", "", "fleet node id (-agent mode; default: the hostname)")
 	advertise := flag.String("advertise", "", "base URL the control plane pushes snapshots to (-agent mode; default derived from -addr, loopback on wildcard binds)")
 	fleetSync := flag.Duration("fleet-sync", 0, "agent heartbeat interval (-agent mode; 0 = follow the control plane's advertised interval)")
+	mixShift := flag.Float64("budget-mix-shift", 0, "L1 kernel-mix drift per node that triggers a fleet budget replan (0 = default 0.25, negative = disabled)")
 	flag.Parse()
+	budgetMixShift = *mixShift
 
 	timeouts := httpTimeouts{
 		ReadHeader: *readHeaderTimeout,

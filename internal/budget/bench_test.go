@@ -1,0 +1,38 @@
+package budget
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkBudgetPlan measures full governor plan latency (all three arms)
+// against fleet size: nodes × kernels items, each with a randomized front.
+func BenchmarkBudgetPlan(b *testing.B) {
+	for _, shape := range []struct{ nodes, kernels int }{
+		{4, 4}, {16, 8}, {64, 16},
+	} {
+		b.Run(fmt.Sprintf("nodes=%d/kernels=%d", shape.nodes, shape.kernels), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(42))
+			var items []Item
+			for n := 0; n < shape.nodes; n++ {
+				for k := 0; k < shape.kernels; k++ {
+					items = append(items, Item{
+						Node:   fmt.Sprintf("node-%03d", n),
+						Kernel: fmt.Sprintf("kern-%03d", k),
+						Weight: 1 / float64(shape.kernels),
+						Front:  randFront(rng),
+					})
+				}
+			}
+			budget := Budget{Total: 0.8 * float64(shape.nodes)}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Solve(items, budget); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

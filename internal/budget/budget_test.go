@@ -1,0 +1,385 @@
+package budget
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/freq"
+)
+
+// randFront generates a plausible prediction set: a mostly-increasing
+// (speedup, energy) staircase with injected dominated points, exact
+// duplicates, and an occasional mem-L heuristic point — the same mixture a
+// live ParetoSet sweep can produce — so the canonicalizer earns its keep
+// on every trial.
+func randFront(rng *rand.Rand) []core.Prediction {
+	n := 2 + rng.Intn(8)
+	s := 0.3 + rng.Float64()*0.2
+	e := 0.35 + rng.Float64()*0.2
+	var out []core.Prediction
+	for i := 0; i < n; i++ {
+		s += 0.01 + rng.Float64()*0.15
+		e += 0.01 + rng.Float64()*0.15
+		p := core.Prediction{
+			Config:     freq.Config{Mem: freq.MHz(405 + 100*i), Core: freq.MHz(500 + 10*rng.Intn(70))},
+			Speedup:    s,
+			NormEnergy: e,
+		}
+		out = append(out, p)
+		if rng.Intn(4) == 0 { // dominated: same speedup, worse energy
+			d := p
+			d.NormEnergy += 0.05
+			d.Config.Core++
+			out = append(out, d)
+		}
+		if rng.Intn(8) == 0 { // exact duplicate objectives, different config
+			d := p
+			d.Config.Core += 7
+			out = append(out, d)
+		}
+	}
+	if rng.Intn(3) == 0 {
+		out = append(out, core.Prediction{
+			Config: freq.Config{Mem: 405, Core: 135}, Speedup: 0.2, NormEnergy: 0.3,
+			MemLHeuristic: true,
+		})
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// randFleet generates a random multi-node, multi-kernel item set.
+func randFleet(rng *rand.Rand) []Item {
+	nodes := 1 + rng.Intn(5)
+	var items []Item
+	for n := 0; n < nodes; n++ {
+		kernels := 1 + rng.Intn(5)
+		for k := 0; k < kernels; k++ {
+			items = append(items, Item{
+				Node:   fmt.Sprintf("node-%d", n),
+				Kernel: fmt.Sprintf("kern-%d", k),
+				Weight: 0.05 + rng.Float64(),
+				Front:  randFront(rng),
+			})
+		}
+	}
+	return items
+}
+
+// randBudget draws a budget spanning the interesting range: below the
+// floor (infeasible), between floor and the most expensive allocation,
+// and above it (unconstrained), in both units.
+func randBudget(rng *rand.Rand, items []Item) Budget {
+	unit := UnitPower
+	if rng.Intn(2) == 0 {
+		unit = UnitEnergy
+	}
+	b := Budget{Unit: unit}
+	// Price the extremes through the solver's own canonicalization.
+	prep, err := prepare(items, Budget{Total: 1, Unit: unit})
+	if err != nil {
+		panic(err)
+	}
+	var floor, ceil float64
+	for i := range prep {
+		floor += prep[i].costs[0]
+		ceil += prep[i].costs[len(prep[i].costs)-1]
+	}
+	b.Total = floor*0.5 + rng.Float64()*(ceil*1.2-floor*0.5)
+	return b
+}
+
+// dump renders a failing trial for reproduction.
+func dump(t *testing.T, items []Item, b Budget) {
+	t.Helper()
+	doc, _ := json.Marshal(struct {
+		Budget Budget `json:"budget"`
+		Items  []Item `json:"items"`
+	}{b, items})
+	t.Logf("offending trial (budget + front set):\n%s", doc)
+}
+
+const trials = 300
+
+// TestPlanRespectsBudget: a feasible plan never spends more than the
+// budget; an infeasible one (budget below the fleet floor) allocates
+// exactly the floor and says so. Holds for the governor and both
+// baselines.
+func TestPlanRespectsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	solvers := map[string]func([]Item, Budget) (Plan, error){
+		"solve": Solve, "greedy": SolveGreedy, "uniform": SolveUniform, "per-device": SolvePerDevice,
+	}
+	for i := 0; i < trials; i++ {
+		items := randFleet(rng)
+		b := randBudget(rng, items)
+		for name, solve := range solvers {
+			p, err := solve(items, b)
+			if err != nil {
+				dump(t, items, b)
+				t.Fatalf("trial %d: %s: %v", i, name, err)
+			}
+			if p.Feasible && p.Cost > b.Total*(1+1e-12) {
+				dump(t, items, b)
+				t.Fatalf("trial %d: %s: cost %g exceeds budget %g", i, name, p.Cost, b.Total)
+			}
+			if !p.Feasible {
+				if b.Total >= p.FloorCost {
+					dump(t, items, b)
+					t.Fatalf("trial %d: %s: infeasible verdict with budget %g ≥ floor %g", i, name, b.Total, p.FloorCost)
+				}
+				if math.Abs(p.Cost-p.FloorCost) > 1e-9 {
+					dump(t, items, b)
+					t.Fatalf("trial %d: %s: infeasible plan cost %g is not the floor %g", i, name, p.Cost, p.FloorCost)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanNeverSelectsDominatedPoint: every allocated point is
+// Pareto-optimal among its item's usable front points and never the mem-L
+// heuristic extrapolation.
+func TestPlanNeverSelectsDominatedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < trials; i++ {
+		items := randFleet(rng)
+		b := randBudget(rng, items)
+		p, err := Solve(items, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		fronts := map[string][]core.Prediction{}
+		for _, it := range items {
+			fronts[it.Node+"/"+it.Kernel] = it.Front
+		}
+		for _, a := range p.Allocations {
+			c := a.Chosen
+			if c.MemLHeuristic {
+				dump(t, items, b)
+				t.Fatalf("trial %d: %s/%s: allocated the mem-L heuristic point", i, a.Node, a.Kernel)
+			}
+			for _, q := range fronts[a.Node+"/"+a.Kernel] {
+				if !usable(q) {
+					continue
+				}
+				if q.Speedup >= c.Speedup && q.NormEnergy <= c.NormEnergy &&
+					(q.Speedup > c.Speedup || q.NormEnergy < c.NormEnergy) {
+					dump(t, items, b)
+					t.Fatalf("trial %d: %s/%s: chose (%g, %g), dominated by (%g, %g)",
+						i, a.Node, a.Kernel, c.Speedup, c.NormEnergy, q.Speedup, q.NormEnergy)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanDeterministic: a fixed input solves to the same plan every time,
+// regardless of item order — the same stable tie-breaking contract the
+// policy layer documents.
+func TestPlanDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < trials/3; i++ {
+		items := randFleet(rng)
+		b := randBudget(rng, items)
+		first, err := Solve(items, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		want, _ := json.Marshal(first)
+		for rep := 0; rep < 3; rep++ {
+			shuffled := append([]Item(nil), items...)
+			rng.Shuffle(len(shuffled), func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+			again, err := Solve(shuffled, b)
+			if err != nil {
+				t.Fatalf("trial %d rep %d: %v", i, rep, err)
+			}
+			got, _ := json.Marshal(again)
+			if string(got) != string(want) {
+				dump(t, items, b)
+				t.Fatalf("trial %d rep %d: plan differs across runs:\n%s\nvs\n%s", i, rep, want, got)
+			}
+		}
+	}
+}
+
+// TestPlanMonotoneInBudget: raising the budget never lowers predicted
+// fleet speedup — more watts can only buy more throughput.
+func TestPlanMonotoneInBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	solvers := map[string]func([]Item, Budget) (Plan, error){
+		"solve": Solve, "greedy": SolveGreedy, "uniform": SolveUniform, "per-device": SolvePerDevice,
+	}
+	for i := 0; i < trials/3; i++ {
+		items := randFleet(rng)
+		b := randBudget(rng, items)
+		for name, solve := range solvers {
+			last := math.Inf(-1)
+			lastB := 0.0
+			for step := 0; step < 12; step++ {
+				bb := b
+				bb.Total = b.Total * (0.4 + 0.12*float64(step) + rng.Float64()*0.05)
+				if bb.Total < lastB {
+					continue
+				}
+				p, err := solve(items, bb)
+				if err != nil {
+					t.Fatalf("trial %d: %s: %v", i, name, err)
+				}
+				if p.FleetSpeedup < last-1e-12 {
+					dump(t, items, bb)
+					t.Fatalf("trial %d: %s: budget %g → speedup %g but budget %g → %g (monotonicity violated)",
+						i, name, lastB, last, bb.Total, p.FleetSpeedup)
+				}
+				last, lastB = p.FleetSpeedup, bb.Total
+			}
+		}
+	}
+}
+
+// TestGovernorDominatesBaselines: the budget governor's predicted fleet
+// speedup is ≥ uniform capping and ≥ per-device greedy on every trial — it
+// strictly generalizes both. A failure prints the offending front set for
+// reproduction.
+func TestGovernorDominatesBaselines(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < trials; i++ {
+		items := randFleet(rng)
+		b := randBudget(rng, items)
+		gov, err := Solve(items, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		uni, err := SolveUniform(items, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		per, err := SolvePerDevice(items, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		if gov.FleetSpeedup < uni.FleetSpeedup {
+			dump(t, items, b)
+			t.Fatalf("trial %d: governor %g < uniform-cap %g", i, gov.FleetSpeedup, uni.FleetSpeedup)
+		}
+		if gov.FleetSpeedup < per.FleetSpeedup {
+			dump(t, items, b)
+			t.Fatalf("trial %d: governor %g < per-device-greedy %g", i, gov.FleetSpeedup, per.FleetSpeedup)
+		}
+	}
+}
+
+// TestPlanInternalConsistency: the plan's totals are exactly the sums of
+// its allocations, and allocations come back in stable (node, kernel)
+// order.
+func TestPlanInternalConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < trials/3; i++ {
+		items := randFleet(rng)
+		b := randBudget(rng, items)
+		p, err := Solve(items, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		if len(p.Allocations) != len(items) {
+			t.Fatalf("trial %d: %d allocations for %d items", i, len(p.Allocations), len(items))
+		}
+		var speedup, cost, power, energy float64
+		for j, a := range p.Allocations {
+			speedup += a.Throughput
+			cost += a.Cost
+			power += a.Weight * a.Chosen.NormEnergy * a.Chosen.Speedup
+			energy += a.Weight * a.Chosen.NormEnergy
+			if j > 0 {
+				prev := p.Allocations[j-1]
+				if prev.Node > a.Node || (prev.Node == a.Node && prev.Kernel >= a.Kernel) {
+					t.Fatalf("trial %d: allocations out of order: %s/%s after %s/%s",
+						i, a.Node, a.Kernel, prev.Node, prev.Kernel)
+				}
+			}
+		}
+		for name, pair := range map[string][2]float64{
+			"fleet_speedup": {speedup, p.FleetSpeedup},
+			"cost":          {cost, p.Cost},
+			"fleet_power":   {power, p.FleetPower},
+			"fleet_energy":  {energy, p.FleetEnergy},
+		} {
+			if math.Abs(pair[0]-pair[1]) > 1e-9 {
+				t.Fatalf("trial %d: %s: allocations sum to %g, plan says %g", i, name, pair[0], pair[1])
+			}
+		}
+	}
+}
+
+// TestSolveTypedErrors pins the validation contract: every malformed input
+// class is rejected with its typed error, never a panic or a silent
+// best-effort plan.
+func TestSolveTypedErrors(t *testing.T) {
+	good := []Item{{Node: "n", Kernel: "k", Weight: 1, Front: []core.Prediction{
+		{Config: freq.Config{Mem: 3505, Core: 1001}, Speedup: 1, NormEnergy: 1},
+	}}}
+	cases := []struct {
+		name  string
+		items []Item
+		b     Budget
+		want  error
+	}{
+		{"nan budget", good, Budget{Total: math.NaN()}, ErrBadBudget},
+		{"inf budget", good, Budget{Total: math.Inf(1)}, ErrBadBudget},
+		{"negative budget", good, Budget{Total: -1}, ErrBadBudget},
+		{"unknown unit", good, Budget{Total: 1, Unit: "furlongs"}, ErrBadBudget},
+		{"no node", []Item{{Kernel: "k", Weight: 1, Front: good[0].Front}}, Budget{Total: 1}, ErrBadItem},
+		{"zero weight", []Item{{Node: "n", Kernel: "k", Front: good[0].Front}}, Budget{Total: 1}, ErrBadItem},
+		{"nan weight", []Item{{Node: "n", Kernel: "k", Weight: math.NaN(), Front: good[0].Front}}, Budget{Total: 1}, ErrBadItem},
+		{"empty front", []Item{{Node: "n", Kernel: "k", Weight: 1}}, Budget{Total: 1}, ErrBadItem},
+		{"all-heuristic front", []Item{{Node: "n", Kernel: "k", Weight: 1, Front: []core.Prediction{
+			{Config: freq.Config{Mem: 405, Core: 135}, Speedup: 0.5, NormEnergy: 0.5, MemLHeuristic: true},
+		}}}, Budget{Total: 1}, ErrBadItem},
+		{"non-finite front", []Item{{Node: "n", Kernel: "k", Weight: 1, Front: []core.Prediction{
+			{Config: freq.Config{Mem: 3505, Core: 1001}, Speedup: math.Inf(1), NormEnergy: 1},
+		}}}, Budget{Total: 1}, ErrBadItem},
+		{"duplicate item", append(append([]Item{}, good...), good...), Budget{Total: 1}, ErrBadItem},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for name, solve := range map[string]func([]Item, Budget) (Plan, error){
+				"solve": Solve, "greedy": SolveGreedy, "uniform": SolveUniform, "per-device": SolvePerDevice,
+			} {
+				if _, err := solve(tc.items, tc.b); !errorsIs(err, tc.want) {
+					t.Errorf("%s: got %v, want %v", name, err, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// errorsIs is errors.Is without the import shadowing the test helpers.
+func errorsIs(err, target error) bool {
+	for e := err; e != nil; {
+		if e == target {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// TestEmptyFleet: no items is a valid (trivially feasible) plan, not an
+// error — a fleet with no observed mix yet has nothing to govern.
+func TestEmptyFleet(t *testing.T) {
+	p, err := Solve(nil, Budget{Total: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Feasible || p.FleetSpeedup != 0 || len(p.Allocations) != 0 {
+		t.Fatalf("unexpected empty-fleet plan: %+v", p)
+	}
+}

@@ -1,0 +1,90 @@
+package budget
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzBudgetPlan fuzzes the two wire surfaces the control plane parses:
+// decision-table documents (DecodeTable) and plan requests (a budget plus
+// an item list, solved with Solve). The contract under fuzz:
+//
+//   - every rejection is a typed error (ErrBadTable for tables,
+//     ErrBadBudget/ErrBadItem for plans) — never a panic, never an
+//     untyped error;
+//   - every accepted table round-trips byte-identically through
+//     encode → decode → encode;
+//   - every accepted plan respects its budget when feasible and re-solves
+//     to the identical plan (determinism).
+func FuzzBudgetPlan(f *testing.F) {
+	// A canonical accepting table, so the fuzzer starts from a valid
+	// document and mutates toward the rejection boundaries.
+	if doc, err := EncodeTable(validTable()); err == nil {
+		f.Add(doc)
+	}
+	// Rejection boundary seeds: malformed budgets (negative, wrong unit,
+	// JSON that cannot express NaN/Inf), empty fronts, mixed-profile
+	// tables with duplicate feature keys, bad hashes.
+	f.Add([]byte(`{"node":"n","device":"d","budget":{"total":-1},"entries":[]}`))
+	f.Add([]byte(`{"node":"n","device":"d","budget":{"total":1,"unit":"furlongs"},"entries":[]}`))
+	f.Add([]byte(`{"budget":{"total":1e999},"items":[{"node":"n","kernel":"k","weight":1,"front":[]}]}`))
+	f.Add([]byte(`{"budget":{"total":2},"items":[{"node":"n","kernel":"k","weight":1,"front":[]}]}`))
+	f.Add([]byte(`{"budget":{"total":2},"items":[{"node":"n","kernel":"k","weight":-1,"front":[{"config":{"mem":3505,"core":1001},"speedup":1,"norm_energy":1}]}]}`))
+	f.Add([]byte(`{"node":"n","device":"d","budget":{"total":1},"entries":null,"hash":"00"}`))
+
+	f.Fuzz(func(t *testing.T, doc []byte) {
+		// Surface 1: the decision-table codec.
+		tbl, err := DecodeTable(doc)
+		if err != nil {
+			if !errors.Is(err, ErrBadTable) {
+				t.Fatalf("DecodeTable rejection not typed: %v", err)
+			}
+		} else {
+			enc, err := EncodeTable(tbl)
+			if err != nil {
+				t.Fatalf("accepted table fails re-encode: %v", err)
+			}
+			tbl2, err := DecodeTable(enc)
+			if err != nil {
+				t.Fatalf("re-encoded table fails decode: %v", err)
+			}
+			enc2, err := EncodeTable(tbl2)
+			if err != nil {
+				t.Fatalf("second re-encode: %v", err)
+			}
+			if !bytes.Equal(enc, enc2) {
+				t.Fatalf("table round trip not stable:\n%s\nvs\n%s", enc, enc2)
+			}
+		}
+
+		// Surface 2: a plan request (the POST /fleet/budget body shape).
+		var req struct {
+			Budget Budget `json:"budget"`
+			Items  []Item `json:"items"`
+		}
+		if json.Unmarshal(doc, &req) != nil {
+			return
+		}
+		p, err := Solve(req.Items, req.Budget)
+		if err != nil {
+			if !errors.Is(err, ErrBadBudget) && !errors.Is(err, ErrBadItem) {
+				t.Fatalf("Solve rejection not typed: %v", err)
+			}
+			return
+		}
+		if p.Feasible && p.Cost > req.Budget.Total*(1+1e-12) {
+			t.Fatalf("accepted plan exceeds budget: cost %g > %g", p.Cost, req.Budget.Total)
+		}
+		again, err := Solve(req.Items, req.Budget)
+		if err != nil {
+			t.Fatalf("re-solve failed: %v", err)
+		}
+		a, _ := json.Marshal(p)
+		b, _ := json.Marshal(again)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("solve not deterministic:\n%s\nvs\n%s", a, b)
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package budget
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/features"
+	"repro/internal/policy"
+)
+
+// maxTableEntries bounds a decision-table document: far above any real
+// fleet mix (the training suite has ~10² kernels) and low enough that a
+// hostile document cannot make an agent allocate unbounded memory.
+const maxTableEntries = 4096
+
+// Entry is one kernel's slot in a node's decision table: the kernel's
+// identity (static features are the lookup key, the name is diagnostic)
+// and the fleet governor's decision for it.
+type Entry struct {
+	// Kernel labels the kernel; Features is the static feature vector the
+	// serving layers key on.
+	Kernel   string          `json:"kernel"`
+	Features features.Static `json:"features"`
+	// Weight is the kernel's share of the node's observed mix at plan
+	// time.
+	Weight float64 `json:"weight"`
+	// Decision is the allocated choice in the policy layer's decision
+	// shape; Decision.Chosen.Config is the configuration to apply.
+	Decision policy.Decision `json:"decision"`
+}
+
+// DecisionTable is one node's slice of a fleet plan: the per-kernel
+// decisions the control plane pushes to (or hands a heartbeating) agent.
+// The embedded hash covers every other field, so an agent can verify a
+// table's integrity independently — the same convergence contract snapshot
+// documents carry.
+type DecisionTable struct {
+	// Node and Device identify the agent the table is for.
+	Node   string `json:"node"`
+	Device string `json:"device"`
+	// Budget and Feasible echo the plan the table was cut from.
+	Budget   Budget `json:"budget"`
+	Feasible bool   `json:"feasible"`
+	// Entries is the per-kernel allocation, in the plan's stable kernel
+	// order.
+	Entries []Entry `json:"entries"`
+	// Hash is the SHA-256 hex digest of the canonical table document with
+	// this field empty; it doubles as the staleness key agents report on
+	// heartbeats.
+	Hash string `json:"hash,omitempty"`
+}
+
+// finite reports whether v is a usable number.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Validate rejects tables an agent must not install: missing identity, an
+// unresolvable budget, no entries (an empty table is expressed by not
+// pushing one), oversized tables, non-finite weights or objectives,
+// non-positive configurations, and duplicate kernel features (two
+// conflicting decisions for one lookup key). All rejections wrap
+// ErrBadTable.
+func (t *DecisionTable) Validate() error {
+	if t.Node == "" || t.Device == "" {
+		return fmt.Errorf("%w: missing node or device", ErrBadTable)
+	}
+	if err := t.Budget.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadTable, err)
+	}
+	if len(t.Entries) == 0 {
+		return fmt.Errorf("%w: no entries", ErrBadTable)
+	}
+	if len(t.Entries) > maxTableEntries {
+		return fmt.Errorf("%w: %d entries (max %d)", ErrBadTable, len(t.Entries), maxTableEntries)
+	}
+	seen := make(map[features.Static]bool, len(t.Entries))
+	for i, e := range t.Entries {
+		if !finite(e.Weight) || e.Weight <= 0 {
+			return fmt.Errorf("%w: entry %d (%s): weight %g", ErrBadTable, i, e.Kernel, e.Weight)
+		}
+		for _, v := range e.Features {
+			if !finite(v) {
+				return fmt.Errorf("%w: entry %d (%s): non-finite feature", ErrBadTable, i, e.Kernel)
+			}
+		}
+		c := e.Decision.Chosen
+		if !finite(c.Speedup) || c.Speedup <= 0 || !finite(c.NormEnergy) || c.NormEnergy <= 0 {
+			return fmt.Errorf("%w: entry %d (%s): objectives (%g, %g)", ErrBadTable, i, e.Kernel, c.Speedup, c.NormEnergy)
+		}
+		if c.Config.Mem <= 0 || c.Config.Core <= 0 {
+			return fmt.Errorf("%w: entry %d (%s): configuration %v", ErrBadTable, i, e.Kernel, c.Config)
+		}
+		if seen[e.Features] {
+			return fmt.Errorf("%w: entry %d (%s): duplicate kernel features", ErrBadTable, i, e.Kernel)
+		}
+		seen[e.Features] = true
+	}
+	return nil
+}
+
+// hashTable computes the canonical content hash: the JSON encoding with
+// the Hash field cleared.
+func hashTable(t *DecisionTable) (string, error) {
+	c := *t
+	c.Hash = ""
+	doc, err := json.Marshal(&c)
+	if err != nil {
+		return "", fmt.Errorf("budget: hashing table: %w", err)
+	}
+	sum := sha256.Sum256(doc)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// EncodeTable validates the table, stamps its content hash, and serializes
+// it to the wire document DecodeTable accepts.
+func EncodeTable(t *DecisionTable) ([]byte, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	hash, err := hashTable(t)
+	if err != nil {
+		return nil, err
+	}
+	t.Hash = hash
+	doc, err := json.Marshal(t)
+	if err != nil {
+		return nil, fmt.Errorf("budget: encoding table: %w", err)
+	}
+	return doc, nil
+}
+
+// DecodeTable parses, validates, and integrity-checks a decision-table
+// document. Every failure — malformed JSON, validation, a missing or
+// mismatched content hash — wraps ErrBadTable, and every accepted document
+// re-encodes to the same bytes (pinned by the FuzzBudgetPlan corpus).
+func DecodeTable(doc []byte) (*DecisionTable, error) {
+	var t DecisionTable
+	if err := json.Unmarshal(doc, &t); err != nil {
+		return nil, fmt.Errorf("%w: parsing: %v", ErrBadTable, err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if t.Hash == "" {
+		return nil, fmt.Errorf("%w: missing content hash", ErrBadTable)
+	}
+	want, err := hashTable(&t)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTable, err)
+	}
+	if t.Hash != want {
+		return nil, fmt.Errorf("%w: content hash mismatch (document %.8s…, computed %.8s…)", ErrBadTable, t.Hash, want)
+	}
+	return &t, nil
+}
+
+// Tables cuts a solved plan into per-node decision tables. The plan
+// stores kernels by label; the caller supplies the node→device and
+// (node, kernel)→features resolvers (the control plane knows both from the
+// mixes and fronts it solved over). Allocations whose kernel the resolver
+// cannot place are skipped — the caller decides whether that is an error.
+// Tables come back keyed by node with hashes stamped.
+func Tables(p *Plan, device func(node string) string, feats func(node, kernel string) (features.Static, bool)) (map[string]*DecisionTable, error) {
+	byNode := map[string]*DecisionTable{}
+	for _, a := range p.Allocations {
+		st, ok := feats(a.Node, a.Kernel)
+		if !ok {
+			continue
+		}
+		t := byNode[a.Node]
+		if t == nil {
+			t = &DecisionTable{
+				Node: a.Node, Device: device(a.Node),
+				Budget: p.Budget, Feasible: p.Feasible,
+			}
+			byNode[a.Node] = t
+		}
+		t.Entries = append(t.Entries, Entry{
+			Kernel:   a.Kernel,
+			Features: st,
+			Weight:   a.Weight,
+			Decision: a.Decision(p.Feasible),
+		})
+	}
+	for _, t := range byNode {
+		hash, err := hashTable(t)
+		if err != nil {
+			return nil, err
+		}
+		t.Hash = hash
+	}
+	return byNode, nil
+}

@@ -1,0 +1,187 @@
+package budget
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/freq"
+	"repro/internal/policy"
+)
+
+func validTable() *DecisionTable {
+	st := features.Static{}
+	st[0] = 1.5
+	st2 := features.Static{}
+	st2[0] = 2.5
+	return &DecisionTable{
+		Node: "node-a", Device: "titanx",
+		Budget:   Budget{Total: 1.5, Unit: UnitPower},
+		Feasible: true,
+		Entries: []Entry{
+			{Kernel: "k1", Features: st, Weight: 0.6, Decision: policy.Decision{
+				Policy:   policy.Spec{Name: PolicyName},
+				Chosen:   core.Prediction{Config: freq.Config{Mem: 3505, Core: 1001}, Speedup: 1.1, NormEnergy: 0.9},
+				Feasible: true, Candidates: 1,
+			}},
+			{Kernel: "k2", Features: st2, Weight: 0.4, Decision: policy.Decision{
+				Policy:   policy.Spec{Name: PolicyName},
+				Chosen:   core.Prediction{Config: freq.Config{Mem: 3304, Core: 900}, Speedup: 0.95, NormEnergy: 0.7},
+				Feasible: true, Candidates: 1,
+			}},
+		},
+	}
+}
+
+// TestTableRoundTrip: encode stamps a hash, decode verifies it, and a
+// second encode is byte-identical — the invariant FuzzBudgetPlan pounds on.
+func TestTableRoundTrip(t *testing.T) {
+	doc, err := EncodeTable(validTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTable(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash == "" {
+		t.Fatal("decoded table lost its hash")
+	}
+	again, err := EncodeTable(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(doc, again) {
+		t.Fatalf("round trip not stable:\n%s\nvs\n%s", doc, again)
+	}
+}
+
+// TestTableTamperDetected: any byte-level tamper after encoding fails the
+// content hash.
+func TestTableTamperDetected(t *testing.T) {
+	doc, err := EncodeTable(validTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(doc, []byte(`"weight":0.6`), []byte(`"weight":0.7`), 1)
+	if bytes.Equal(tampered, doc) {
+		t.Fatal("tamper did not change the document")
+	}
+	if _, err := DecodeTable(tampered); !errors.Is(err, ErrBadTable) || !strings.Contains(err.Error(), "hash") {
+		t.Fatalf("tampered table: got %v, want hash mismatch wrapping ErrBadTable", err)
+	}
+}
+
+// TestTableValidation pins every rejection class to ErrBadTable.
+func TestTableValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*DecisionTable)
+	}{
+		{"no node", func(d *DecisionTable) { d.Node = "" }},
+		{"no device", func(d *DecisionTable) { d.Device = "" }},
+		{"bad budget", func(d *DecisionTable) { d.Budget.Total = -1 }},
+		{"bad unit", func(d *DecisionTable) { d.Budget.Unit = "bogus" }},
+		{"no entries", func(d *DecisionTable) { d.Entries = nil }},
+		{"zero weight", func(d *DecisionTable) { d.Entries[0].Weight = 0 }},
+		{"negative objective", func(d *DecisionTable) { d.Entries[0].Decision.Chosen.Speedup = -1 }},
+		{"zero config", func(d *DecisionTable) { d.Entries[0].Decision.Chosen.Config.Core = 0 }},
+		{"duplicate features", func(d *DecisionTable) { d.Entries[1].Features = d.Entries[0].Features }},
+		{"oversized", func(d *DecisionTable) {
+			e := d.Entries[0]
+			d.Entries = nil
+			for i := 0; i <= maxTableEntries; i++ {
+				ee := e
+				ee.Features[0] = float64(i)
+				d.Entries = append(d.Entries, ee)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := validTable()
+			tc.mut(d)
+			if err := d.Validate(); !errors.Is(err, ErrBadTable) {
+				t.Fatalf("got %v, want ErrBadTable", err)
+			}
+			if _, err := EncodeTable(d); !errors.Is(err, ErrBadTable) {
+				t.Fatalf("encode: got %v, want ErrBadTable", err)
+			}
+		})
+	}
+	if _, err := DecodeTable([]byte(`{"node":`)); !errors.Is(err, ErrBadTable) {
+		t.Fatalf("malformed JSON: got %v, want ErrBadTable", err)
+	}
+}
+
+// TestTablesCutsPlanByNode: a two-node plan cuts into two hashed tables,
+// each carrying exactly its node's kernels with the plan's budget echoed;
+// kernels the feature resolver cannot place are dropped.
+func TestTablesCutsPlanByNode(t *testing.T) {
+	front := []core.Prediction{
+		{Config: freq.Config{Mem: 3505, Core: 600}, Speedup: 0.8, NormEnergy: 0.6},
+		{Config: freq.Config{Mem: 3505, Core: 1001}, Speedup: 1.0, NormEnergy: 1.0},
+	}
+	items := []Item{
+		{Node: "a", Kernel: "k1", Weight: 0.5, Front: front},
+		{Node: "a", Kernel: "k2", Weight: 0.5, Front: front},
+		{Node: "b", Kernel: "k1", Weight: 1, Front: front},
+		{Node: "b", Kernel: "orphan", Weight: 1, Front: front},
+	}
+	p, err := Solve(items, Budget{Total: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := func(node, kernel string) (features.Static, bool) {
+		if kernel == "orphan" {
+			return features.Static{}, false
+		}
+		st := features.Static{}
+		if kernel == "k2" {
+			st[0] = 1
+		}
+		return st, true
+	}
+	device := func(node string) string {
+		if node == "a" {
+			return "titanx"
+		}
+		return "p100"
+	}
+	tables, err := Tables(&p, device, feats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want 2", len(tables))
+	}
+	a, b := tables["a"], tables["b"]
+	if a == nil || b == nil {
+		t.Fatalf("missing node table: %v", tables)
+	}
+	if a.Device != "titanx" || b.Device != "p100" {
+		t.Fatalf("device resolution: a=%s b=%s", a.Device, b.Device)
+	}
+	if len(a.Entries) != 2 || len(b.Entries) != 1 {
+		t.Fatalf("entry counts: a=%d b=%d (orphan must be dropped)", len(a.Entries), len(b.Entries))
+	}
+	for name, tbl := range tables {
+		if tbl.Hash == "" {
+			t.Fatalf("table %s missing hash", name)
+		}
+		if tbl.Budget != p.Budget {
+			t.Fatalf("table %s budget %+v != plan %+v", name, tbl.Budget, p.Budget)
+		}
+		if err := tbl.Validate(); err != nil {
+			t.Fatalf("table %s invalid: %v", name, err)
+		}
+		for _, e := range tbl.Entries {
+			if e.Decision.Policy.Name != PolicyName {
+				t.Fatalf("table %s entry %s policy %q", name, e.Kernel, e.Decision.Policy.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+func TestBudgetEvalBothDevices(t *testing.T) {
+	tables, err := BudgetEval(engine.Options{Core: core.Options{SettingsPerKernel: 10}})
+	if err != nil {
+		t.Fatalf("BudgetEval: %v", err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d, want 2 (Titan X, P100)", len(tables))
+	}
+	wantPoints := len(budgetEvalUnits) * len(budgetEvalFractions)
+	for _, tbl := range tables {
+		if tbl.Device == "" {
+			t.Error("table without device name")
+		}
+		if len(tbl.Points) != wantPoints {
+			t.Errorf("%s: points = %d, want %d", tbl.Device, len(tbl.Points), wantPoints)
+		}
+		// The acceptance bar: the governor's predicted fleet speedup is at
+		// least both baselines' at every tested budget on every profile.
+		if !tbl.GovernorDominates() {
+			t.Errorf("%s: governor lost to a baseline at some budget point", tbl.Device)
+		}
+		for _, pt := range tbl.Points {
+			if len(pt.Arms) != 3 {
+				t.Fatalf("%s %s %.3f: arms = %d, want 3", tbl.Device, pt.Unit, pt.Budget, len(pt.Arms))
+			}
+			var gov, uni, per *BudgetEvalArm
+			for i := range pt.Arms {
+				switch pt.Arms[i].Name {
+				case "governor":
+					gov = &pt.Arms[i]
+				case "uniform-cap":
+					uni = &pt.Arms[i]
+				case "per-device-greedy":
+					per = &pt.Arms[i]
+				}
+			}
+			if gov == nil || uni == nil || per == nil {
+				t.Fatalf("%s %s %.3f: missing arm in %+v", tbl.Device, pt.Unit, pt.Budget, pt.Arms)
+			}
+			if gov.PredictedSpeedup < uni.PredictedSpeedup-1e-9 ||
+				gov.PredictedSpeedup < per.PredictedSpeedup-1e-9 {
+				t.Errorf("%s %s budget %.3f: governor %.6f < baseline (uniform %.6f, per-device %.6f)",
+					tbl.Device, pt.Unit, pt.Budget, gov.PredictedSpeedup, uni.PredictedSpeedup, per.PredictedSpeedup)
+			}
+			for _, a := range pt.Arms {
+				if a.Feasible && a.Cost > pt.Budget*(1+1e-9) {
+					t.Errorf("%s %s budget %.3f: %s feasible but over budget: cost %.6f",
+						tbl.Device, pt.Unit, pt.Budget, a.Name, a.Cost)
+				}
+				if a.MeasuredSpeedup <= 0 || a.MeasuredCost <= 0 {
+					t.Errorf("%s %s budget %.3f: %s non-positive measured objectives: %+v",
+						tbl.Device, pt.Unit, pt.Budget, a.Name, a)
+				}
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	RenderBudgetEval(&buf, tables)
+	out := buf.String()
+	for _, tbl := range tables {
+		if !strings.Contains(out, tbl.Device) {
+			t.Errorf("RenderBudgetEval missing device %q", tbl.Device)
+		}
+	}
+	for _, arm := range []string{"governor", "uniform-cap", "per-device-greedy"} {
+		if !strings.Contains(out, arm) {
+			t.Errorf("RenderBudgetEval missing arm %q", arm)
+		}
+	}
+	if !strings.Contains(out, "governor ≥ both baselines") {
+		t.Error("RenderBudgetEval missing dominance verdict line")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/adapt"
+	"repro/internal/budget"
 	"repro/internal/engine"
 	"repro/internal/registry"
 	"repro/internal/resilience"
@@ -85,6 +86,11 @@ type AgentStatus struct {
 	LastSync time.Time `json:"last_sync,omitempty"`
 	// LastError is the most recent sync failure ("" after a success).
 	LastError string `json:"last_error,omitempty"`
+	// Plan is the content hash of the installed fleet decision table (""
+	// when the control plane has not budgeted this node); PlanEntries its
+	// kernel count.
+	Plan        string `json:"plan,omitempty"`
+	PlanEntries int    `json:"plan_entries,omitempty"`
 	// Spool is the forward spool's accounting: SpoolDepth observations are
 	// queued awaiting a reachable control plane.
 	Spool adapt.SpoolStats `json:"spool"`
@@ -114,6 +120,9 @@ type Agent struct {
 	version      string
 	hash         string
 	bootstrap    *BootstrapInfo
+	table        *budget.DecisionTable // installed fleet decision table
+	tableDoc     []byte                // its exact wire document
+	planHash     string                // its content hash ("" before install)
 	syncs        int
 	installs     int
 	lastSync     time.Time
@@ -156,9 +165,14 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 func (a *Agent) Status() AgentStatus {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	entries := 0
+	if a.table != nil {
+		entries = len(a.table.Entries)
+	}
 	return AgentStatus{
 		Node: a.cfg.Node, Device: a.cfg.Device, Control: a.cfg.Control,
 		Version: a.version, Hash: a.hash, Bootstrap: a.bootstrap,
+		Plan: a.planHash, PlanEntries: entries,
 		Syncs: a.syncs, Installs: a.installs,
 		LastSync: a.lastSync, LastError: a.lastError,
 		Spool:              a.cfg.Spool.Stats(),
@@ -177,7 +191,7 @@ func (a *Agent) Sync(ctx context.Context) (RegisterResponse, error) {
 	a.mu.Lock()
 	req := RegisterRequest{
 		Node: a.cfg.Node, Addr: a.cfg.Addr, Device: a.cfg.Device,
-		Version: a.version, Hash: a.hash,
+		Version: a.version, Hash: a.hash, Plan: a.planHash,
 	}
 	a.mu.Unlock()
 
@@ -190,6 +204,13 @@ func (a *Agent) Sync(ctx context.Context) (RegisterResponse, error) {
 	if len(resp.Snapshot) > 0 {
 		if _, _, err := a.installDoc(resp.Snapshot, resp.Bootstrap); err != nil {
 			err = fmt.Errorf("fleet: installing snapshot from control plane: %w", err)
+			a.recordSync(err)
+			return resp, err
+		}
+	}
+	if len(resp.Decisions) > 0 {
+		if _, _, err := a.InstallTable(resp.Decisions); err != nil {
+			err = fmt.Errorf("fleet: installing decision table from control plane: %w", err)
 			a.recordSync(err)
 			return resp, err
 		}

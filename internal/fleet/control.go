@@ -43,6 +43,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/features"
 	"repro/internal/gpu"
 	"repro/internal/measure"
 	"repro/internal/nvml"
@@ -86,6 +87,10 @@ type ControlConfig struct {
 	// elapses and a probe push succeeds.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// MixShiftThreshold is the per-node kernel-mix L1 drift past which the
+	// fleet budget replans automatically (0 = DefaultMixShiftThreshold;
+	// negative disables automatic replanning — explicit POSTs still work).
+	MixShiftThreshold float64
 	// LocalDevice names the device the hosting process serves itself, if
 	// any. Observations forwarded for it are routed to LocalObserve (the
 	// host's own adaptation loop) instead of a fleet controller, and
@@ -112,6 +117,10 @@ func (c ControlConfig) withDefaults() ControlConfig {
 // nodeState is one registered node's bookkeeping, guarded by Control.mu.
 type nodeState struct {
 	info NodeInfo
+	// mix accumulates the node's observed kernel mix (accepted forwarded
+	// observations, keyed by static features) — the fleet budget governor's
+	// per-node workload weights.
+	mix map[features.Static]*mixEntry
 }
 
 // deviceState is the control plane's per-device serving-side state: the
@@ -157,6 +166,8 @@ type Control struct {
 	mu    sync.Mutex
 	nodes map[string]*nodeState
 	devs  map[string]*deviceState
+	// bud is the fleet budget governor's state (see budget.go).
+	bud budgetState
 }
 
 // NewControl builds a control plane over a snapshot store (typically the
@@ -242,6 +253,9 @@ func (c *Control) activateDevice(ds *deviceState, version string, m *core.Models
 	}
 	ds.setModel(version, engine.NewPredictor(m, ds.eng.Harness().Device().Sim().Ladder, ds.eng.Options()))
 	c.PushDevice(context.Background(), ds.device)
+	// A new active snapshot means new front tables: the fleet budget plan
+	// (if one is set) is re-solved and re-pushed alongside the fan-out.
+	c.maybeReplan(context.Background())
 	return nil
 }
 
@@ -270,8 +284,20 @@ func (c *Control) Activate(ctx context.Context, device, version string) error {
 
 // Register enrolls (or heartbeats) a node and decides what, if anything,
 // it should install — see RegisterRequest/RegisterResponse for the
-// protocol.
+// protocol. Besides the snapshot, the response carries the node's fleet
+// decision table when its reported plan hash is stale.
 func (c *Control) Register(req RegisterRequest) (RegisterResponse, error) {
+	resp, err := c.registerSnapshot(req)
+	if err != nil {
+		return resp, err
+	}
+	c.budgetHeartbeat(req.Node, req.Plan, &resp)
+	return resp, nil
+}
+
+// registerSnapshot is the snapshot half of Register: enrollment, staleness
+// check, cross-device bootstrap.
+func (c *Control) registerSnapshot(req RegisterRequest) (RegisterResponse, error) {
 	if req.Node == "" || req.Device == "" {
 		return RegisterResponse{}, errors.New("fleet: register needs node and device")
 	}
@@ -294,6 +320,7 @@ func (c *Control) Register(req RegisterRequest) (RegisterResponse, error) {
 		ns.info.Addr = req.Addr
 	}
 	ns.info.Version, ns.info.Hash = req.Version, req.Hash
+	ns.info.Plan = req.Plan
 	ns.info.LastSeen = now
 	c.mu.Unlock()
 
@@ -409,6 +436,10 @@ func (c *Control) Observe(req ObserveRequest) (ObserveResponse, error) {
 	if ds != nil {
 		resp.Store = ds.ctrl.StoreStats()
 	}
+	// Fold the accepted observations into the node's kernel mix and replan
+	// the fleet budget if the mix drifted past the threshold.
+	c.recordMix(req.Node, req.Observations, resp.Results)
+	c.checkMixShift(context.Background())
 	return resp, nil
 }
 

@@ -1,0 +1,258 @@
+package fleettest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/budget"
+	"repro/internal/engine"
+	"repro/internal/fleet"
+	"repro/internal/freq"
+	"repro/internal/resilience"
+)
+
+// kernelObs builds an observation for the i-th training kernel — the
+// features match the published fronts' entries, so the control plane's
+// budget planner attributes it to a known front. The objectives sit close
+// to nominal so the batch never trips the fleet drift detector.
+func kernelObs(i int, speedup, energy float64) adapt.Observation {
+	k := engine.TrainingKernels()[i]
+	return adapt.Observation{
+		Kernel:     k.Name,
+		Features:   k.Features,
+		Config:     freq.Config{Mem: 3505, Core: 1000},
+		Speedup:    speedup,
+		NormEnergy: energy,
+	}
+}
+
+// postBudget POSTs a BudgetRequest to the control plane's HTTP route and
+// decodes the status it answers with.
+func postBudget(t *testing.T, url string, req fleet.BudgetRequest) fleet.BudgetStatusResponse {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/fleet/budget", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /fleet/budget: status %d", resp.StatusCode)
+	}
+	var status fleet.BudgetStatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	return status
+}
+
+// TestBudgetPlanConvergesAcrossFleet is the budget layer's fleet
+// acceptance test: three agents with distinct observed kernel mixes (one
+// with none at all, exercising the uniform fallback), a budget set over
+// the real HTTP route, and every agent holding its decision table by the
+// end of the round — the push-missed node via exactly one heartbeat.
+func TestBudgetPlanConvergesAcrossFleet(t *testing.T) {
+	ctx := context.Background()
+	cl := NewCluster(t, Options{})
+	cl.PublishTrained("titanx", 0)
+	n1 := cl.AddNode("n1", "titanx")
+	n2 := cl.AddNode("n2", "titanx")
+	n3 := cl.AddNode("n3", "titanx")
+	all := []*Node{n1, n2, n3}
+	for _, n := range all {
+		if _, err := n.Agent.Sync(ctx); err != nil {
+			t.Fatalf("%s initial sync: %v", n.Name, err)
+		}
+	}
+
+	// Distinct mixes: n1 runs kernel 0 three-to-one over kernel 1, n2 the
+	// inverse; n3 reports nothing and must be planned on the uniform mix.
+	for i := 0; i < 3; i++ {
+		if _, _, err := n1.Agent.Forward(ctx, []adapt.Observation{kernelObs(0, 1, 0.95)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := n2.Agent.Forward(ctx, []adapt.Observation{kernelObs(1, 1, 0.95)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := n1.Agent.Forward(ctx, []adapt.Observation{kernelObs(1, 1, 0.95)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n2.Agent.Forward(ctx, []adapt.Observation{kernelObs(0, 1, 0.95)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// n3 misses the fan-out: its push link is severed when the budget
+	// lands, so only the heartbeat can converge it.
+	cl.ControlChaos.Sever(hostOf(n3.URL))
+	status := postBudget(t, cl.ControlURL, fleet.BudgetRequest{
+		Total: ptr(2.4), Unit: budget.UnitPower,
+	})
+	if !status.Set || status.Plan == nil {
+		t.Fatalf("budget status after POST: %+v", status)
+	}
+	if !status.Plan.Feasible {
+		t.Fatalf("budget 2.4 over 3 nodes should be feasible: %+v", status.Plan)
+	}
+	if status.LastPush == nil || status.LastPush.Pushed != 2 || len(status.LastPush.Errors) != 1 {
+		t.Fatalf("push round: %+v, want 2 delivered and 1 error (severed n3)", status.LastPush)
+	}
+
+	tables := map[string]fleet.BudgetNodeStatus{}
+	for _, ns := range status.Nodes {
+		tables[ns.Node] = ns
+	}
+	if len(tables) != 3 {
+		t.Fatalf("budget status covers %d nodes, want 3", len(tables))
+	}
+	if tables["n3"].Kernels != 0 || !tables["n3"].UniformMix {
+		t.Fatalf("n3 should be planned on the uniform mix: %+v", tables["n3"])
+	}
+	if tables["n1"].Kernels != 2 || tables["n1"].UniformMix {
+		t.Fatalf("n1 should be planned on its 2-kernel observed mix: %+v", tables["n1"])
+	}
+
+	// The pushed pair holds its table already — no heartbeat needed.
+	for _, n := range []*Node{n1, n2} {
+		st := n.Agent.Status()
+		if st.Plan != tables[n.Name].Hash || st.PlanEntries != tables[n.Name].Entries {
+			t.Fatalf("%s agent plan %.8s (%d entries), want %.8s (%d)",
+				n.Name, st.Plan, st.PlanEntries, tables[n.Name].Hash, tables[n.Name].Entries)
+		}
+		if d, ok := n.Agent.DecisionFor(engine.TrainingKernels()[0].Features); !ok || d.Policy.Name != "budget" {
+			t.Fatalf("%s DecisionFor(kernel 0) = %+v, %v", n.Name, d, ok)
+		}
+	}
+
+	// The severed node converges in exactly one sync interval: heal, one
+	// heartbeat, table installed.
+	cl.ControlChaos.Heal(hostOf(n3.URL))
+	if got := n3.Agent.Status().Plan; got != "" {
+		t.Fatalf("n3 holds plan %.8s before its heartbeat — push should have missed it", got)
+	}
+	if _, err := n3.Agent.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := n3.Agent.Status().Plan; got != tables["n3"].Hash {
+		t.Fatalf("n3 after one heartbeat holds %.8s, want %.8s", got, tables["n3"].Hash)
+	}
+
+	// One more heartbeat apiece and the directory agrees everyone is
+	// synced (it records what each node last *reported*).
+	for _, n := range all {
+		if _, err := n.Agent.Sync(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	status = cl.Control.BudgetStatus()
+	for _, ns := range status.Nodes {
+		if !ns.Synced {
+			t.Fatalf("node %s not synced after heartbeats: %+v", ns.Node, ns)
+		}
+	}
+
+	// GET over the same HTTP route reports the installed budget.
+	resp, err := http.Get(cl.ControlURL + "/fleet/budget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got fleet.BudgetStatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Set || got.Budget == nil || got.Budget.Total != 2.4 || got.Budget.Unit != budget.UnitPower {
+		t.Fatalf("GET /fleet/budget: %+v", got)
+	}
+}
+
+// TestBudgetPushBreakerSkipsSeveredNode pins the decision-table fan-out to
+// the same breaker contract as snapshot pushes: consecutive failures to a
+// severed node trip its breaker, after which replan rounds skip it
+// instantly even over a black-hole link, and the node still converges
+// through its own heartbeat once healed.
+func TestBudgetPushBreakerSkipsSeveredNode(t *testing.T) {
+	ctx := context.Background()
+	cl := NewCluster(t, Options{BreakerThreshold: 2, BreakerCooldown: time.Hour})
+	cl.PublishTrained("titanx", 0)
+	n1 := cl.AddNode("n1", "titanx")
+	n2 := cl.AddNode("n2", "titanx")
+	for _, n := range []*Node{n1, n2} {
+		if _, err := n.Agent.Sync(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// n2's push link dies before the budget lands. Round 1: n1 installs,
+	// n2 fails (breaker failure 1/2).
+	cl.ControlChaos.Sever(hostOf(n2.URL))
+	status, err := cl.Control.SetBudget(ctx, budget.Budget{Total: 1.6, Unit: budget.UnitPower})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.LastPush == nil || status.LastPush.Pushed != 1 || len(status.LastPush.Errors) != 1 {
+		t.Fatalf("round 1: %+v, want 1 pushed, 1 error", status.LastPush)
+	}
+
+	// Round 2: only n2 is stale; its failure 2/2 trips the breaker.
+	status, err = cl.Control.Replan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.LastPush.Targets != 1 || status.LastPush.Pushed != 0 || len(status.LastPush.Errors) != 1 {
+		t.Fatalf("round 2: %+v, want 1 error on the severed node", status.LastPush)
+	}
+
+	// Round 3: the link becomes a black hole that would stall a contact
+	// for the full client timeout. The open breaker keeps the replan
+	// instant by skipping n2 outright.
+	cl.ControlChaos.Heal(hostOf(n2.URL))
+	cl.ControlChaos.SlowForever(hostOf(n2.URL))
+	start := time.Now()
+	status, err = cl.Control.Replan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("replan with a tripped breaker took %v — the severed node stalled the round", elapsed)
+	}
+	if status.LastPush.Targets != 1 || status.LastPush.Skipped != 1 || len(status.LastPush.Errors) != 0 {
+		t.Fatalf("round 3: %+v, want the severed node counted as skipped", status.LastPush)
+	}
+	states := map[string]string{}
+	for _, info := range cl.Control.Nodes() {
+		states[info.Node] = info.Breaker
+	}
+	if states["n2"] != resilience.StateOpen || states["n1"] != resilience.StateClosed {
+		t.Fatalf("breaker states %v, want n2 open and n1 closed", states)
+	}
+
+	// The pull path ignores push breakers: one heartbeat converges n2.
+	cl.ControlChaos.Heal(hostOf(n2.URL))
+	if _, err := n2.Agent.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := ""
+	for _, ns := range cl.Control.BudgetStatus().Nodes {
+		if ns.Node == "n2" {
+			want = ns.Hash
+		}
+	}
+	if want == "" {
+		t.Fatal("budget status has no table hash for n2")
+	}
+	if got := n2.Agent.Status().Plan; got != want {
+		t.Fatalf("healed node's heartbeat installed %.8s, want %.8s", got, want)
+	}
+}
+
+// ptr returns a pointer to v, for optional request fields.
+func ptr(v float64) *float64 { return &v }

@@ -128,6 +128,7 @@ func NewCluster(tb testing.TB, opts Options) *Cluster {
 	mux.HandleFunc("/fleet/observe", control.HandleObserve)
 	mux.HandleFunc("/fleet/nodes", control.HandleNodes)
 	mux.HandleFunc("/fleet/push", control.HandlePush)
+	mux.HandleFunc("/fleet/budget", control.HandleBudget)
 
 	c := &Cluster{
 		tb: tb, opts: opts,
@@ -208,6 +209,10 @@ func (c *Cluster) AddNodeSpool(name, device, spoolDir string) *Node {
 	mux.HandleFunc("/fleet/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		<-agentReady
 		n.Agent.HandleSnapshot(w, r)
+	})
+	mux.HandleFunc("/fleet/decisions", func(w http.ResponseWriter, r *http.Request) {
+		<-agentReady
+		n.Agent.HandleDecisions(w, r)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		<-agentReady

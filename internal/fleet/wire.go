@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/adapt"
+	"repro/internal/budget"
 )
 
 // RegisterRequest is the body of POST /fleet/register — both the initial
@@ -25,6 +26,10 @@ type RegisterRequest struct {
 	// stores agree on content, not just on version labels.
 	Version string `json:"version,omitempty"`
 	Hash    string `json:"hash,omitempty"`
+	// Plan is the content hash of the fleet decision table the agent
+	// currently holds ("" before the first install) — the budget analogue
+	// of Hash, so a heartbeat also converges the node's budget allocation.
+	Plan string `json:"plan,omitempty"`
 }
 
 // BootstrapInfo describes a cross-device warm start: the donor device
@@ -64,6 +69,10 @@ type RegisterResponse struct {
 	BootstrapError string `json:"bootstrap_error,omitempty"`
 	// SyncSeconds is the heartbeat interval the control plane asks for.
 	SyncSeconds float64 `json:"sync_seconds,omitempty"`
+	// Decisions is the node's fleet decision table (the budget.EncodeTable
+	// wire document), present only when the agent's reported plan hash
+	// differs from the current plan's table for this node.
+	Decisions json.RawMessage `json:"decisions,omitempty"`
 }
 
 // SnapshotResponse answers a snapshot push (POST /fleet/snapshot on the
@@ -131,11 +140,82 @@ type NodeInfo struct {
 	// "open" (pushes suspended after repeated failures) or "half-open"
 	// (cool-down elapsed, next push is the probe).
 	Breaker string `json:"breaker"`
+	// Plan is the content hash of the fleet decision table the node last
+	// reported or acknowledged ("" when it holds none).
+	Plan string `json:"plan,omitempty"`
 }
 
 // NodesResponse is the body of GET /fleet/nodes.
 type NodesResponse struct {
 	Nodes []NodeInfo `json:"nodes"`
+}
+
+// BudgetRequest is the body of POST /fleet/budget. Total set (with an
+// optional Unit) installs a new fleet budget and replans; Replan alone
+// re-solves under the existing budget (409 when none is set).
+type BudgetRequest struct {
+	Total  *float64 `json:"total,omitempty"`
+	Unit   string   `json:"unit,omitempty"`
+	Replan bool     `json:"replan,omitempty"`
+}
+
+// BudgetNodeStatus is one node's slice of the fleet budget status.
+type BudgetNodeStatus struct {
+	// Node and Device identify the agent.
+	Node   string `json:"node"`
+	Device string `json:"device"`
+	// Kernels is how many distinct kernels the node's observed mix holds;
+	// UniformMix is true when the plan fell back to the uniform front-table
+	// mix because the node had no observations at plan time.
+	Kernels    int  `json:"kernels"`
+	UniformMix bool `json:"uniform_mix,omitempty"`
+	// Hash and Entries describe the node's table in the current plan;
+	// Reported is the hash the node last acknowledged, and Synced whether
+	// the two agree.
+	Hash     string `json:"hash,omitempty"`
+	Entries  int    `json:"entries,omitempty"`
+	Reported string `json:"reported,omitempty"`
+	Synced   bool   `json:"synced"`
+	// MixShift is the node's kernel-mix L1 drift since the plan.
+	MixShift float64 `json:"mix_shift"`
+}
+
+// BudgetStatusResponse is the body of GET /fleet/budget (and the response
+// to a successful POST).
+type BudgetStatusResponse struct {
+	// Set reports whether a fleet budget is installed; Budget echoes it.
+	Set    bool           `json:"set"`
+	Budget *budget.Budget `json:"budget,omitempty"`
+	// Plan is the current allocation (nil before the first replan).
+	Plan *budget.Plan `json:"plan,omitempty"`
+	// PlannedAt and Replans account for plan freshness.
+	PlannedAt time.Time `json:"planned_at,omitempty"`
+	Replans   int       `json:"replans"`
+	// MixShiftThreshold is the auto-replan trigger; MaxMixShift the largest
+	// per-node drift since the plan; Stale whether that drift has crossed
+	// the threshold (the next observation batch will replan).
+	MixShiftThreshold float64 `json:"mix_shift_threshold"`
+	MaxMixShift       float64 `json:"max_mix_shift"`
+	Stale             bool    `json:"stale"`
+	// Notes lists kernels or nodes the planner had to skip and why.
+	Notes []string `json:"notes,omitempty"`
+	// Nodes is the per-node delivery and drift state, sorted by node id.
+	Nodes []BudgetNodeStatus `json:"nodes,omitempty"`
+	// LastPush reports the most recent decision-table fan-out round.
+	LastPush *PushReport `json:"last_push,omitempty"`
+}
+
+// DecisionsResponse answers a decision-table push (POST /fleet/decisions
+// on the agent).
+type DecisionsResponse struct {
+	// Node, Device and Hash identify the installed table.
+	Node   string `json:"node"`
+	Device string `json:"device"`
+	Hash   string `json:"hash"`
+	// Entries is the table's kernel count; Installed is false when the
+	// agent already held this exact table.
+	Entries   int  `json:"entries"`
+	Installed bool `json:"installed"`
 }
 
 // PushReport summarizes one fan-out round (POST /fleet/push, or the
